@@ -1,0 +1,327 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation, plus ablations of the design choices DESIGN.md calls out.
+// Shape metrics (separations, error rates, slowdowns) are reported through
+// b.ReportMetric so `go test -bench` output doubles as the experiment log;
+// EXPERIMENTS.md records the paper-versus-measured comparison.
+package specinterference
+
+import (
+	"testing"
+
+	"specinterference/internal/cache"
+	"specinterference/internal/channel"
+	"specinterference/internal/core"
+	"specinterference/internal/mem"
+	"specinterference/internal/schemes"
+	"specinterference/internal/stats"
+	"specinterference/internal/uarch"
+	"specinterference/internal/workload"
+)
+
+// BenchmarkTable1Matrix regenerates the full vulnerability matrix (Table 1)
+// and reports how many cells agree with the paper.
+func BenchmarkTable1Matrix(b *testing.B) {
+	expected := core.ExpectedTable1()
+	match, total := 0, 0
+	for i := 0; i < b.N; i++ {
+		cells, err := core.VulnerabilityMatrix(schemes.Names())
+		if err != nil {
+			b.Fatal(err)
+		}
+		match, total = 0, 0
+		for _, c := range cells {
+			total++
+			k := c.Gadget.String() + "|" + c.Ordering.String()
+			if expected[k][c.Scheme] == c.Vulnerable {
+				match++
+			}
+		}
+	}
+	b.ReportMetric(float64(match), "cells-matching-paper")
+	b.ReportMetric(float64(total), "cells-total")
+}
+
+// BenchmarkFigure7InterferenceHistogram regenerates the contention
+// histogram and reports the separation (paper: ~80 cycles) and overlap.
+func BenchmarkFigure7InterferenceHistogram(b *testing.B) {
+	var sep, overlap float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.Figure7(40, 30, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sep, overlap = r.Separation, r.Overlap
+	}
+	b.ReportMetric(sep, "separation-cycles")
+	b.ReportMetric(overlap, "overlap-coeff")
+}
+
+// BenchmarkFigure8QLRUReceiver exercises the §4.2.2 replacement-state
+// receiver protocol end to end (one D-Cache PoC bit per iteration).
+func BenchmarkFigure8QLRUReceiver(b *testing.B) {
+	poc := core.NewDCachePoC("dom", 0)
+	ok := 0
+	for i := 0; i < b.N; i++ {
+		out, err := poc.RunBit(i%2, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.OK && out.Decoded == i%2 {
+			ok++
+		}
+	}
+	b.ReportMetric(float64(ok)/float64(b.N), "decode-accuracy")
+}
+
+// BenchmarkFigure9DCachePoCBit times one full Figure 9 trial (prime →
+// victim → probe) against Delay-on-Miss.
+func BenchmarkFigure9DCachePoCBit(b *testing.B) {
+	poc := core.NewDCachePoC("dom", 0)
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		out, err := poc.RunBit(i%2, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = out.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles/bit")
+}
+
+// BenchmarkFigure10ICachePoCBit times one §4.3 I-Cache trial against
+// InvisiSpec.
+func BenchmarkFigure10ICachePoCBit(b *testing.B) {
+	poc := core.NewICachePoC("invisispec-spectre", 0)
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		out, err := poc.RunBit(i%2, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = out.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles/bit")
+}
+
+// BenchmarkFigure11aDCacheChannel measures one point of the D-Cache
+// error-versus-rate curve at the calibrated noise operating point.
+func BenchmarkFigure11aDCacheChannel(b *testing.B) {
+	var r channel.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = channel.Measure(channel.Config{
+			PoC: channel.DCacheFigure11(), Reps: 1, Bits: 16,
+			SeedBase: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.ErrorRate, "error-rate")
+	b.ReportMetric(r.Bps, "bps-at-3.6GHz")
+}
+
+// BenchmarkFigure11bICacheChannel is the I-Cache counterpart.
+func BenchmarkFigure11bICacheChannel(b *testing.B) {
+	var r channel.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = channel.Measure(channel.Config{
+			PoC: channel.ICacheFigure11(), Reps: 1, Bits: 16,
+			SeedBase: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.ErrorRate, "error-rate")
+	b.ReportMetric(r.Bps, "bps-at-3.6GHz")
+}
+
+// BenchmarkFigure12DefenseOverhead regenerates the fence-defense slowdown
+// table (paper: 1.58x Spectre, 5.38x Futuristic on SPEC CPU2017).
+func BenchmarkFigure12DefenseOverhead(b *testing.B) {
+	var res *workload.EvalResult
+	for i := 0; i < b.N; i++ {
+		cfg := workload.DefaultEvalConfig()
+		cfg.Iters = 500
+		var err error
+		res, err = workload.Evaluate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Mean["fence-spectre"], "spectre-mean-slowdown")
+	b.ReportMetric(res.Mean["fence-futuristic"], "futuristic-mean-slowdown")
+}
+
+// --- Ablations (DESIGN.md §5) -----------------------------------------------
+
+// npeuDelay returns the secret-dependent delay on load A for a config
+// tweak: the magnitude of the interference channel.
+func npeuDelay(b *testing.B, tweak func(*uarch.Config)) float64 {
+	b.Helper()
+	var t [2]int64
+	for secret := 0; secret <= 1; secret++ {
+		pol, err := schemes.ByName("invisispec-spectre")
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := core.RunTrial(core.TrialSpec{
+			Gadget: core.GadgetNPEU, Ordering: core.OrderVDVD,
+			Policy: pol, Secret: secret, Tweak: tweak,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t[secret] = r.SecretLineCycle
+	}
+	return float64(t[1] - t[0])
+}
+
+// BenchmarkAblationIssuePolicy compares the interference delay under
+// oldest-first (the cascade's enabler) and youngest-first issue.
+func BenchmarkAblationIssuePolicy(b *testing.B) {
+	var oldest, youngest float64
+	for i := 0; i < b.N; i++ {
+		oldest = npeuDelay(b, nil)
+		youngest = npeuDelay(b, func(c *uarch.Config) { c.YoungestFirstIssue = true })
+	}
+	b.ReportMetric(oldest, "delay-oldest-first")
+	b.ReportMetric(youngest, "delay-youngest-first")
+}
+
+// BenchmarkAblationCDBWidth measures the interference delay with a
+// single-slot versus four-slot common data bus (Figure 1's example).
+func BenchmarkAblationCDBWidth(b *testing.B) {
+	var w1, w4 float64
+	for i := 0; i < b.N; i++ {
+		w1 = npeuDelay(b, func(c *uarch.Config) { c.CDBWidth = 1 })
+		w4 = npeuDelay(b, func(c *uarch.Config) { c.CDBWidth = 4 })
+	}
+	b.ReportMetric(w1, "delay-cdb1")
+	b.ReportMetric(w4, "delay-cdb4")
+}
+
+// BenchmarkAblationMSHRCount sweeps the MSHR file size: the GDMSHR victim
+// delay grows with the number of registers the gadget can occupy.
+func BenchmarkAblationMSHRCount(b *testing.B) {
+	delay := func(mshrs int) float64 {
+		var t [2]int64
+		for secret := 0; secret <= 1; secret++ {
+			pol, err := schemes.ByName("invisispec-spectre")
+			if err != nil {
+				b.Fatal(err)
+			}
+			params := core.DefaultVictimParams()
+			params.MSHRLoads = mshrs
+			r, err := core.RunTrial(core.TrialSpec{
+				Gadget: core.GadgetMSHR, Ordering: core.OrderVDAD,
+				Policy: pol, Secret: secret, Params: params,
+				Tweak: func(c *uarch.Config) { c.Cache.DMSHRs = mshrs },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			t[secret] = r.SecretLineCycle
+		}
+		return float64(t[1] - t[0])
+	}
+	var d2, d4, d8 float64
+	for i := 0; i < b.N; i++ {
+		d2, d4, d8 = delay(2), delay(4), delay(8)
+	}
+	b.ReportMetric(d2, "delay-2mshr")
+	b.ReportMetric(d4, "delay-4mshr")
+	b.ReportMetric(d8, "delay-8mshr")
+}
+
+// BenchmarkAblationReplacement measures D-Cache receiver viability across
+// LLC replacement policies (the §6 CleanupSpec discussion: randomized
+// replacement degrades the replacement-state receiver).
+func BenchmarkAblationReplacement(b *testing.B) {
+	accuracy := func(policy cache.PolicyKind) float64 {
+		poc := core.NewDCachePoC("invisispec-spectre", 0)
+		poc.Tweak = func(c *uarch.Config) { c.Cache.LLCPolicy = policy }
+		good := 0
+		const trials = 10
+		for i := 0; i < trials; i++ {
+			out, err := poc.RunBit(i%2, uint64(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.OK && out.Decoded == i%2 {
+				good++
+			}
+		}
+		return float64(good) / trials
+	}
+	var qlru, lru, srrip, random float64
+	for i := 0; i < b.N; i++ {
+		qlru = accuracy(cache.PolicyQLRU)
+		lru = accuracy(cache.PolicyLRU)
+		srrip = accuracy(cache.PolicySRRIP)
+		random = accuracy(cache.PolicyRandom)
+	}
+	b.ReportMetric(qlru, "accuracy-qlru")
+	b.ReportMetric(lru, "accuracy-lru")
+	b.ReportMetric(srrip, "accuracy-srrip")
+	b.ReportMetric(random, "accuracy-random")
+}
+
+// BenchmarkAblationAdvancedDefense quantifies the §5.4 rules: interference
+// delay with no defense, rule 1 only, and both rules.
+func BenchmarkAblationAdvancedDefense(b *testing.B) {
+	var base, rule1, both float64
+	for i := 0; i < b.N; i++ {
+		base = npeuDelay(b, nil)
+		rule1 = npeuDelay(b, func(c *uarch.Config) { c.HoldRSUntilSafe = true })
+		both = npeuDelay(b, func(c *uarch.Config) {
+			c.HoldRSUntilSafe = true
+			c.AgePriorityArb = true
+		})
+	}
+	b.ReportMetric(base, "delay-undefended")
+	b.ReportMetric(rule1, "delay-rule1-only")
+	b.ReportMetric(both, "delay-full-defense")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed on the mixed
+// kernel (simulated cycles per benchmark op), for capacity planning.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, err := workload.ByName("mixed")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, setup := w.Build(1000)
+	var simCycles, retired int64
+	for i := 0; i < b.N; i++ {
+		m := mem.New()
+		setup(m)
+		sys, err := uarch.NewSystem(uarch.DefaultConfig(1), m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.LoadProgram(0, prog, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(10_000_000); err != nil {
+			b.Fatal(err)
+		}
+		st := sys.Core(0).Stats()
+		simCycles, retired = st.Cycles, st.Retired
+	}
+	b.ReportMetric(float64(simCycles), "sim-cycles/op")
+	b.ReportMetric(float64(retired), "sim-insts/op")
+}
+
+// BenchmarkSummarizeBaseline keeps the stats package honest about cost.
+func BenchmarkSummarizeBaseline(b *testing.B) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i % 97)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = stats.Summarize(xs)
+	}
+}

@@ -1,0 +1,56 @@
+// Command covertbench regenerates Figure 11: bit error probability versus
+// bit rate for the D-Cache (§4.2) and I-Cache (§4.3) covert-channel PoCs.
+// The trade-off knob is the number of attack repetitions per transmitted
+// bit, decoded by majority vote.
+//
+// Usage:
+//
+//	covertbench [-poc dcache|icache|both] [-bits 64] [-reps 1,3,5,9,15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	si "specinterference"
+)
+
+func main() {
+	poc := flag.String("poc", "both", "dcache, icache or both")
+	bits := flag.Int("bits", 64, "random bits per curve point")
+	repsFlag := flag.String("reps", "1,3,5,9,15", "comma-separated repetitions-per-bit sweep")
+	seed := flag.Uint64("seed", 1, "measurement seed")
+	flag.Parse()
+
+	var reps []int
+	for _, s := range strings.Split(*repsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "covertbench: bad reps value %q\n", s)
+			os.Exit(1)
+		}
+		reps = append(reps, v)
+	}
+
+	run := func(name string, p *si.PoC) {
+		fmt.Printf("Figure 11 (%s PoC, scheme %s): error rate vs bit rate\n", name, p.SchemeName)
+		results, err := si.ChannelCurve(p, reps, *bits, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "covertbench:", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Println("  " + r.String())
+		}
+		fmt.Println()
+	}
+	if *poc == "dcache" || *poc == "both" {
+		run("D-Cache", si.DCacheFigure11())
+	}
+	if *poc == "icache" || *poc == "both" {
+		run("I-Cache", si.ICacheFigure11())
+	}
+}

@@ -1,0 +1,34 @@
+// Command defensebench regenerates Figure 12: execution time of the §5.2
+// basic fence defense, normalized to the unsafe baseline, across the
+// synthetic SPEC-like kernels.
+//
+// Usage:
+//
+//	defensebench [-iters 2000] [-schemes fence-spectre,fence-futuristic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	si "specinterference"
+)
+
+func main() {
+	iters := flag.Int("iters", 2000, "loop iterations per kernel")
+	schemesFlag := flag.String("schemes", "fence-spectre,fence-futuristic",
+		"comma-separated defense list")
+	flag.Parse()
+
+	names := strings.Split(*schemesFlag, ",")
+	res, err := si.DefenseOverhead(*iters, names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "defensebench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Figure 12: fence-defense slowdown over the unsafe baseline")
+	fmt.Print(res.Format(names))
+	fmt.Println("\npaper (SPEC CPU2017 on gem5): 1.58x mean Spectre model, 5.38x mean Futuristic model")
+}

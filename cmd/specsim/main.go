@@ -1,0 +1,78 @@
+// Command specsim runs an assembler program on the out-of-order simulator
+// under a chosen speculation scheme, optionally printing a pipeline
+// timeline and core statistics.
+//
+// Usage:
+//
+//	specsim -f prog.s [-scheme dom] [-trace] [-max 1000000]
+//	echo 'movi r1, 2\nhalt' | specsim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	si "specinterference"
+)
+
+func main() {
+	file := flag.String("f", "", "assembler source file ('-' or empty reads stdin)")
+	schemeName := flag.String("scheme", "unsafe", "speculation scheme: "+strings.Join(si.SchemeNames(), ", "))
+	showTrace := flag.Bool("trace", false, "print the pipeline timeline")
+	maxCycles := flag.Int64("max", 10_000_000, "cycle budget")
+	flag.Parse()
+
+	if err := run(*file, *schemeName, *showTrace, *maxCycles); err != nil {
+		fmt.Fprintln(os.Stderr, "specsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, schemeName string, showTrace bool, maxCycles int64) error {
+	var src []byte
+	var err error
+	if file == "" || file == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(file)
+	}
+	if err != nil {
+		return err
+	}
+	prog, err := si.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	policy, err := si.Scheme(schemeName)
+	if err != nil {
+		return err
+	}
+	sys, _, err := si.NewSystem(si.DefaultConfig(1))
+	if err != nil {
+		return err
+	}
+	rec := si.NewTraceRecorder()
+	if showTrace {
+		sys.Core(0).SetTraceHook(rec)
+	}
+	if err := sys.LoadProgram(0, prog, policy); err != nil {
+		return err
+	}
+	if err := sys.Run(maxCycles); err != nil {
+		return err
+	}
+	st := sys.Core(0).Stats()
+	fmt.Printf("scheme: %s\n", policy.Name())
+	fmt.Printf("cycles: %d  retired: %d  IPC: %.2f  squashes: %d\n",
+		st.Cycles, st.Retired, st.IPC(), st.Squashes)
+	fmt.Printf("delayed loads: %d  invisible loads: %d  exposes: %d  MSHR retries: %d\n",
+		st.LoadsDelayed, st.LoadsInvisible, st.Exposes, st.MSHRRetries)
+	if showTrace {
+		fmt.Println()
+		fmt.Print(si.RenderTimeline(rec.Records(), si.TimelineOptions{ShowSquashed: true}))
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package specinterference is a simulator-based reproduction of
+// "Speculative Interference Attacks: Breaking Invisible Speculation
+// Schemes" (Behnia et al., ASPLOS 2021).
+//
+// The paper shows that invisible-speculation defenses — InvisiSpec,
+// Delay-on-Miss, SafeSpec, MuonTrap, Conditional Speculation — still leak
+// through the cache: mis-speculated instructions can delay older,
+// bound-to-retire instructions (speculative interference), and a
+// secret-dependent delay reorders two unprotected memory accesses, leaving
+// a persistent, secret-dependent change in cache replacement state.
+//
+// This module contains everything needed to reproduce the paper's
+// evaluation on a cycle-level out-of-order multi-core simulator written in
+// pure Go:
+//
+//   - a small RISC-like ISA, assembler and architectural emulator,
+//   - an out-of-order core with age-ordered issue, non-pipelined execution
+//     units, MSHRs, a mistrainable branch predictor, and squash/recovery,
+//   - a cache hierarchy with the QLRU_H11_M1_R0_U0 replacement policy the
+//     paper reverse-engineered from its Kaby Lake target,
+//   - executable models of every invisible-speculation scheme in Table 1
+//     plus the paper's fence defenses,
+//   - the three interference gadgets (GDNPEU, GDMSHR, GIRS), the
+//     replacement-state receiver of §4.2.2, and end-to-end cross-core
+//     proof-of-concept attacks,
+//   - harnesses that regenerate every table and figure of the evaluation
+//     (Table 1; Figures 7, 8, 9, 10, 11a, 11b, 12), and
+//   - a checker for the §5.1 "ideal invisible speculation" definition.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results. The root package is a
+// facade over the internal packages; the cmd/ tools and examples/ programs
+// show it in use.
+package specinterference

@@ -1,0 +1,61 @@
+// dcache_poc runs the paper's §4.2 end-to-end D-Cache attack (Figure 9)
+// against Delay-on-Miss: a GDNPEU interference gadget reorders two
+// bound-to-retire victim loads, and the attacker decodes the order from
+// QLRU replacement state on another core — leaking a secret the defense
+// was designed to hide.
+//
+// Steps per bit (Figure 9):
+//  1. attacker initializes eviction sets for the attacked LLC set,
+//  2. attacker primes the set's replacement state and the victim's branch
+//     predictor is mistrained,
+//  3. the victim runs: the mis-speculated gadget delays load A past load B
+//     iff the secret is 1,
+//  4. attacker probes the set and times A and B,
+//  5. the surviving line reveals the issue order, hence the secret.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	si "specinterference"
+)
+
+func main() {
+	secretMessage := []int{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1}
+
+	fmt.Println("D-Cache speculative interference attack (GDNPEU + QLRU receiver)")
+	fmt.Println("victim scheme: Delay-on-Miss — speculative misses never touch the cache")
+	fmt.Println()
+
+	poc := si.NewDCachePoC("dom", 0)
+	var decoded []int
+	errors := 0
+	var cycles int64
+	for i, bit := range secretMessage {
+		out, err := poc.RunBit(bit, uint64(i+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cycles += out.Cycles
+		got := out.Decoded
+		if !out.OK {
+			got = -1
+		}
+		decoded = append(decoded, got)
+		if got != bit {
+			errors++
+		}
+		fmt.Printf("bit %2d: sent %d  probe latencies A=%-4d B=%-4d  decoded %d\n",
+			i, bit, out.LatA, out.LatB, got)
+	}
+
+	fmt.Printf("\nsent:    %v\n", secretMessage)
+	fmt.Printf("decoded: %v\n", decoded)
+	fmt.Printf("errors:  %d/%d   (%d cycles per bit)\n",
+		errors, len(secretMessage), cycles/int64(len(secretMessage)))
+	if errors == 0 {
+		fmt.Println("\nDelay-on-Miss leaked every bit through load-issue ORDER —")
+		fmt.Println("no mis-speculated load ever changed the cache, exactly as the paper claims.")
+	}
+}

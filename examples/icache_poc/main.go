@@ -1,0 +1,45 @@
+// icache_poc runs the paper's §4.3 I-Cache attack against InvisiSpec: a
+// GIRS gadget (a transmitter load plus enough dependent adds to overflow
+// the reservation stations) back-throttles the frontend. Whether the
+// frontend reaches a target function on the mis-speculated path — and
+// fills its instruction line — depends on whether the transmitter hit.
+// The attacker Flush+Reloads the shared target line from another core.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	si "specinterference"
+)
+
+func main() {
+	fmt.Println("I-Cache speculative interference attack (GIRS: RS back-pressure)")
+	fmt.Println("victim scheme: InvisiSpec (Spectre mode) — loads are invisible, I-fetch is not")
+	fmt.Println()
+
+	poc := si.NewICachePoC("invisispec-spectre", 0)
+	secret := []int{0, 1, 1, 0, 1, 0, 0, 1}
+	errors := 0
+	var cycles int64
+	for i, bit := range secret {
+		out, err := poc.RunBit(bit, uint64(i+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cycles += out.Cycles
+		status := "target line fetched -> RS drained -> transmitter HIT"
+		if out.Decoded == 1 {
+			status = "target line absent  -> frontend stalled -> transmitter MISS"
+		}
+		mark := "ok"
+		if out.Decoded != bit {
+			mark = "WRONG"
+			errors++
+		}
+		fmt.Printf("bit %d: sent %d  reload=%-4d cycles  %-58s %s\n",
+			i, bit, out.LatA, status, mark)
+	}
+	fmt.Printf("\nerrors: %d/%d   (%d cycles per bit — the paper's fastest channel)\n",
+		errors, len(secret), cycles/int64(len(secret)))
+}

@@ -1,0 +1,52 @@
+package cache
+
+// noisySet wraps a SetState and makes Victim deviate to a random occupied
+// way with pct percent probability. It models adaptive / imperfectly
+// reverse-engineered replacement behaviour (§4.2.2's footnote: the target
+// LLC only approximately follows QLRU_H11_M1_R0_U0).
+type noisySet struct {
+	inner SetState
+	pct   int
+	rng   *Rand
+}
+
+// AddReplacementNoise wraps every set's replacement state so that victim
+// selection deviates randomly pct percent of the time. Empty-way
+// preference is preserved: only occupied-victim choices are perturbed.
+func (c *Cache) AddReplacementNoise(pct int, rng *Rand) {
+	if pct <= 0 || pct > 100 {
+		panic("cache: replacement noise percent out of range")
+	}
+	if rng == nil {
+		rng = NewRand(1)
+	}
+	for s := range c.state {
+		c.state[s] = &noisySet{inner: c.state[s], pct: pct, rng: rng}
+	}
+}
+
+// OnFill implements SetState.
+func (n *noisySet) OnFill(way int) { n.inner.OnFill(way) }
+
+// OnHit implements SetState.
+func (n *noisySet) OnHit(way int) { n.inner.OnHit(way) }
+
+// OnInvalidate implements SetState.
+func (n *noisySet) OnInvalidate(way int) { n.inner.OnInvalidate(way) }
+
+// Victim implements SetState.
+func (n *noisySet) Victim(occupied []bool) int {
+	if w, ok := firstEmpty(occupied); ok {
+		// Keep the deterministic empty-way rule; also let the inner policy
+		// observe the selection pressure it would have seen.
+		return w
+	}
+	v := n.inner.Victim(occupied)
+	if n.rng.Intn(100) < n.pct {
+		return n.rng.Intn(len(occupied))
+	}
+	return v
+}
+
+// DebugString implements SetState.
+func (n *noisySet) DebugString() string { return n.inner.DebugString() + "~noise" }

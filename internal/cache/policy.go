@@ -1,0 +1,450 @@
+// Package cache implements the memory-side substrate of the simulator:
+// parametric set-associative caches with pluggable replacement policies
+// (including the QLRU_H11_M1_R0_U0 policy reverse-engineered from the
+// paper's Kaby Lake target in §4.2.2), miss-status-holding-register files,
+// per-core private levels, a shared sliced last-level cache with inclusive
+// back-invalidation, a visible-access log implementing the C(E) abstraction
+// of §5.1, and eviction-set construction for the attacker's receiver.
+package cache
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PolicyKind selects a replacement policy.
+type PolicyKind int
+
+// Replacement policies.
+const (
+	// PolicyLRU is true least-recently-used.
+	PolicyLRU PolicyKind = iota
+	// PolicyTreePLRU is tree pseudo-LRU (ways must be a power of two).
+	PolicyTreePLRU
+	// PolicyNRU is not-recently-used (single reference bit).
+	PolicyNRU
+	// PolicySRRIP is 2-bit static re-reference interval prediction.
+	PolicySRRIP
+	// PolicyQLRU is QLRU_H11_M1_R0_U0, the quad-age LRU variant the paper
+	// identified on its Kaby Lake LLC sets (§4.2.2).
+	PolicyQLRU
+	// PolicyRandom picks uniformly random victims (CleanupSpec-style
+	// randomized replacement; the §6 mitigation discussion).
+	PolicyRandom
+)
+
+// String implements fmt.Stringer.
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyLRU:
+		return "lru"
+	case PolicyTreePLRU:
+		return "tree-plru"
+	case PolicyNRU:
+		return "nru"
+	case PolicySRRIP:
+		return "srrip"
+	case PolicyQLRU:
+		return "qlru_h11_m1_r0_u0"
+	case PolicyRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("policy(%d)", int(k))
+	}
+}
+
+// SetState is the replacement state of a single cache set. Implementations
+// are not safe for concurrent use; the simulator is single-threaded per
+// system.
+type SetState interface {
+	// OnFill records that a line was inserted into way.
+	OnFill(way int)
+	// OnHit records a hit on way.
+	OnHit(way int)
+	// Victim selects the way for an incoming fill. occupied[i] reports
+	// whether way i currently holds a valid line. Victim may mutate state
+	// (e.g., QLRU's U0 aging runs during victim selection).
+	Victim(occupied []bool) int
+	// OnInvalidate records that way was invalidated.
+	OnInvalidate(way int)
+	// DebugString renders the state for diagnostics.
+	DebugString() string
+}
+
+// NewSetState constructs the per-set state for a policy. rng is used only
+// by PolicyRandom; it must not be nil for that policy.
+func NewSetState(k PolicyKind, ways int, rng *Rand) SetState {
+	switch k {
+	case PolicyLRU:
+		return NewLRUSet(ways)
+	case PolicyTreePLRU:
+		return NewTreePLRUSet(ways)
+	case PolicyNRU:
+		return NewNRUSet(ways)
+	case PolicySRRIP:
+		return NewSRRIPSet(ways)
+	case PolicyQLRU:
+		return NewQLRUSet(ways)
+	case PolicyRandom:
+		if rng == nil {
+			panic("cache: PolicyRandom requires a Rand")
+		}
+		return NewRandomSet(ways, rng)
+	default:
+		panic(fmt.Sprintf("cache: unknown policy %d", int(k)))
+	}
+}
+
+func firstEmpty(occupied []bool) (int, bool) {
+	for i, occ := range occupied {
+		if !occ {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------------
+// LRU
+
+// LRUSet is true LRU via monotonically increasing use stamps.
+type LRUSet struct {
+	stamp []uint64
+	clock uint64
+}
+
+// NewLRUSet returns LRU state for a set with the given associativity.
+func NewLRUSet(ways int) *LRUSet { return &LRUSet{stamp: make([]uint64, ways)} }
+
+func (s *LRUSet) touch(way int) {
+	s.clock++
+	s.stamp[way] = s.clock
+}
+
+// OnFill implements SetState.
+func (s *LRUSet) OnFill(way int) { s.touch(way) }
+
+// OnHit implements SetState.
+func (s *LRUSet) OnHit(way int) { s.touch(way) }
+
+// Victim implements SetState: leftmost empty way, else the least recently
+// used occupied way.
+func (s *LRUSet) Victim(occupied []bool) int {
+	if w, ok := firstEmpty(occupied); ok {
+		return w
+	}
+	victim, best := 0, s.stamp[0]
+	for w := 1; w < len(s.stamp); w++ {
+		if s.stamp[w] < best {
+			victim, best = w, s.stamp[w]
+		}
+	}
+	return victim
+}
+
+// OnInvalidate implements SetState.
+func (s *LRUSet) OnInvalidate(way int) { s.stamp[way] = 0 }
+
+// DebugString implements SetState.
+func (s *LRUSet) DebugString() string { return fmt.Sprintf("lru%v", s.stamp) }
+
+// ---------------------------------------------------------------------------
+// Tree PLRU
+
+// TreePLRUSet is tree pseudo-LRU over a power-of-two number of ways.
+type TreePLRUSet struct {
+	ways int
+	// bits is a perfect binary tree in heap order; bits[i]==false points
+	// left (lower ways), true points right.
+	bits []bool
+}
+
+// NewTreePLRUSet returns tree-PLRU state; ways must be a power of two >= 2.
+func NewTreePLRUSet(ways int) *TreePLRUSet {
+	if ways < 2 || ways&(ways-1) != 0 {
+		panic(fmt.Sprintf("cache: tree-plru needs power-of-two ways, got %d", ways))
+	}
+	return &TreePLRUSet{ways: ways, bits: make([]bool, ways-1)}
+}
+
+// touch makes way the most recently used: every tree node on the path is
+// pointed away from it.
+func (s *TreePLRUSet) touch(way int) {
+	node := 0
+	lo, hi := 0, s.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			s.bits[node] = true // point away: right
+			node = 2*node + 1
+			hi = mid
+		} else {
+			s.bits[node] = false // point away: left
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+// OnFill implements SetState.
+func (s *TreePLRUSet) OnFill(way int) { s.touch(way) }
+
+// OnHit implements SetState.
+func (s *TreePLRUSet) OnHit(way int) { s.touch(way) }
+
+// Victim implements SetState.
+func (s *TreePLRUSet) Victim(occupied []bool) int {
+	if w, ok := firstEmpty(occupied); ok {
+		return w
+	}
+	node := 0
+	lo, hi := 0, s.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if !s.bits[node] {
+			node = 2*node + 1
+			hi = mid
+		} else {
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// OnInvalidate implements SetState. PLRU keeps no per-way state to clear.
+func (s *TreePLRUSet) OnInvalidate(int) {}
+
+// DebugString implements SetState.
+func (s *TreePLRUSet) DebugString() string { return fmt.Sprintf("plru%v", s.bits) }
+
+// ---------------------------------------------------------------------------
+// NRU
+
+// NRUSet is not-recently-used: one reference bit per way.
+type NRUSet struct {
+	ref []bool
+}
+
+// NewNRUSet returns NRU state.
+func NewNRUSet(ways int) *NRUSet { return &NRUSet{ref: make([]bool, ways)} }
+
+// OnFill implements SetState.
+func (s *NRUSet) OnFill(way int) { s.ref[way] = true }
+
+// OnHit implements SetState.
+func (s *NRUSet) OnHit(way int) { s.ref[way] = true }
+
+// Victim implements SetState: leftmost empty, else leftmost way with a
+// clear reference bit, clearing all bits when none is clear.
+func (s *NRUSet) Victim(occupied []bool) int {
+	if w, ok := firstEmpty(occupied); ok {
+		return w
+	}
+	for w, r := range s.ref {
+		if !r {
+			return w
+		}
+	}
+	for w := range s.ref {
+		s.ref[w] = false
+	}
+	return 0
+}
+
+// OnInvalidate implements SetState.
+func (s *NRUSet) OnInvalidate(way int) { s.ref[way] = false }
+
+// DebugString implements SetState.
+func (s *NRUSet) DebugString() string { return fmt.Sprintf("nru%v", s.ref) }
+
+// ---------------------------------------------------------------------------
+// SRRIP
+
+// SRRIPSet is 2-bit static RRIP (Jaleel et al.): insert at RRPV 2, promote
+// to 0 on hit, evict the leftmost way with RRPV 3, aging all ways until one
+// exists.
+type SRRIPSet struct {
+	rrpv []uint8
+}
+
+// NewSRRIPSet returns SRRIP state.
+func NewSRRIPSet(ways int) *SRRIPSet { return &SRRIPSet{rrpv: make([]uint8, ways)} }
+
+// OnFill implements SetState.
+func (s *SRRIPSet) OnFill(way int) { s.rrpv[way] = 2 }
+
+// OnHit implements SetState.
+func (s *SRRIPSet) OnHit(way int) { s.rrpv[way] = 0 }
+
+// Victim implements SetState.
+func (s *SRRIPSet) Victim(occupied []bool) int {
+	if w, ok := firstEmpty(occupied); ok {
+		return w
+	}
+	for {
+		for w, v := range s.rrpv {
+			if v == 3 {
+				return w
+			}
+		}
+		for w := range s.rrpv {
+			if s.rrpv[w] < 3 {
+				s.rrpv[w]++
+			}
+		}
+	}
+}
+
+// OnInvalidate implements SetState.
+func (s *SRRIPSet) OnInvalidate(way int) { s.rrpv[way] = 0 }
+
+// DebugString implements SetState.
+func (s *SRRIPSet) DebugString() string { return fmt.Sprintf("srrip%v", s.rrpv) }
+
+// ---------------------------------------------------------------------------
+// QLRU_H11_M1_R0_U0
+
+// QLRUSet implements QLRU_H11_M1_R0_U0, the quad-age LRU variant that the
+// paper identified (via nanoBench/CacheQuery) on the Kaby Lake LLC sets it
+// attacks (§4.2.2). Sub-policies, quoting the paper:
+//
+//   - M1 insertion: new lines enter with age 1.
+//   - H11 hit promotion: age 3 -> 1, age 2 -> 1, age 1 or 0 -> 0.
+//   - R0 eviction: insert into the leftmost empty way when the set is not
+//     full; otherwise evict the leftmost way whose age is 3.
+//   - U0 aging: when an eviction is needed and no way has age 3, increment
+//     every way's age (saturating at 3) until a victim candidate exists.
+//
+// The D-Cache PoC receiver (internal/core) decodes load-issue *order* from
+// exactly these rules.
+type QLRUSet struct {
+	age []uint8
+}
+
+// NewQLRUSet returns QLRU state.
+func NewQLRUSet(ways int) *QLRUSet { return &QLRUSet{age: make([]uint8, ways)} }
+
+// OnFill implements SetState (M1: insertion age 1).
+func (s *QLRUSet) OnFill(way int) { s.age[way] = 1 }
+
+// OnHit implements SetState (H11 promotion).
+func (s *QLRUSet) OnHit(way int) {
+	switch s.age[way] {
+	case 3, 2:
+		s.age[way] = 1
+	default:
+		s.age[way] = 0
+	}
+}
+
+// Victim implements SetState (R0 eviction with U0 aging).
+func (s *QLRUSet) Victim(occupied []bool) int {
+	if w, ok := firstEmpty(occupied); ok {
+		return w
+	}
+	for {
+		for w, a := range s.age {
+			if a == 3 {
+				return w
+			}
+		}
+		// U0: age everything until a candidate appears.
+		for w := range s.age {
+			if s.age[w] < 3 {
+				s.age[w]++
+			}
+		}
+	}
+}
+
+// OnInvalidate implements SetState.
+func (s *QLRUSet) OnInvalidate(way int) { s.age[way] = 0 }
+
+// Ages returns a copy of the per-way age vector (for tests and the
+// replacement-state receiver's documentation of Figure 8).
+func (s *QLRUSet) Ages() []uint8 {
+	out := make([]uint8, len(s.age))
+	copy(out, s.age)
+	return out
+}
+
+// DebugString implements SetState.
+func (s *QLRUSet) DebugString() string {
+	var b strings.Builder
+	b.WriteString("qlru[")
+	for i, a := range s.age {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", a)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Random
+
+// RandomSet picks uniformly random victims among occupied ways.
+type RandomSet struct {
+	ways int
+	rng  *Rand
+}
+
+// NewRandomSet returns random-replacement state drawing from rng.
+func NewRandomSet(ways int, rng *Rand) *RandomSet {
+	return &RandomSet{ways: ways, rng: rng}
+}
+
+// OnFill implements SetState.
+func (s *RandomSet) OnFill(int) {}
+
+// OnHit implements SetState.
+func (s *RandomSet) OnHit(int) {}
+
+// Victim implements SetState.
+func (s *RandomSet) Victim(occupied []bool) int {
+	if w, ok := firstEmpty(occupied); ok {
+		return w
+	}
+	return int(s.rng.Uint64() % uint64(s.ways))
+}
+
+// OnInvalidate implements SetState.
+func (s *RandomSet) OnInvalidate(int) {}
+
+// DebugString implements SetState.
+func (s *RandomSet) DebugString() string { return "random" }
+
+// ---------------------------------------------------------------------------
+
+// Rand is a small deterministic xorshift64* generator so the simulator does
+// not depend on math/rand ordering and is reproducible across runs.
+type Rand struct{ state uint64 }
+
+// NewRand seeds a generator; seed 0 is remapped to a fixed non-zero value.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("cache: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}

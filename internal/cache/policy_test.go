@@ -1,0 +1,388 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func occ(n int, occupied ...int) []bool {
+	o := make([]bool, n)
+	for _, i := range occupied {
+		o[i] = true
+	}
+	return o
+}
+
+func full(n int) []bool {
+	o := make([]bool, n)
+	for i := range o {
+		o[i] = true
+	}
+	return o
+}
+
+func TestPolicyKindString(t *testing.T) {
+	kinds := []PolicyKind{PolicyLRU, PolicyTreePLRU, PolicyNRU, PolicySRRIP, PolicyQLRU, PolicyRandom}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("bad or duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if PolicyKind(99).String() != "policy(99)" {
+		t.Error("unknown policy name")
+	}
+}
+
+func TestNewSetStateAllKinds(t *testing.T) {
+	rng := NewRand(7)
+	for _, k := range []PolicyKind{PolicyLRU, PolicyTreePLRU, PolicyNRU, PolicySRRIP, PolicyQLRU, PolicyRandom} {
+		s := NewSetState(k, 4, rng)
+		if s == nil {
+			t.Fatalf("nil state for %s", k)
+		}
+		if s.DebugString() == "" {
+			t.Errorf("%s: empty debug string", k)
+		}
+	}
+}
+
+func TestNewSetStateRandomNeedsRand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSetState(PolicyRandom, 4, nil)
+}
+
+func TestNewSetStateUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSetState(PolicyKind(42), 4, nil)
+}
+
+func TestLRUVictimOrder(t *testing.T) {
+	s := NewLRUSet(4)
+	// Fill 0..3; victim should be way 0 (oldest).
+	for w := 0; w < 4; w++ {
+		s.OnFill(w)
+	}
+	if v := s.Victim(full(4)); v != 0 {
+		t.Errorf("victim = %d, want 0", v)
+	}
+	// Touch way 0; victim becomes way 1.
+	s.OnHit(0)
+	if v := s.Victim(full(4)); v != 1 {
+		t.Errorf("victim after hit = %d, want 1", v)
+	}
+}
+
+func TestLRUPrefersEmptyWay(t *testing.T) {
+	s := NewLRUSet(4)
+	s.OnFill(0)
+	if v := s.Victim(occ(4, 0)); v != 1 {
+		t.Errorf("victim = %d, want first empty way 1", v)
+	}
+}
+
+func TestLRUInvalidate(t *testing.T) {
+	s := NewLRUSet(2)
+	s.OnFill(0)
+	s.OnFill(1)
+	s.OnInvalidate(1)
+	// Way 1 stamp cleared: with both occupied it would be the victim.
+	if v := s.Victim(full(2)); v != 1 {
+		t.Errorf("victim = %d, want invalidated way 1", v)
+	}
+}
+
+func TestTreePLRUBasic(t *testing.T) {
+	s := NewTreePLRUSet(4)
+	for w := 0; w < 4; w++ {
+		s.OnFill(w)
+	}
+	// After filling 0,1,2,3 in order, PLRU should evict from the left half.
+	v := s.Victim(full(4))
+	if v != 0 && v != 1 {
+		t.Errorf("victim = %d, want left half", v)
+	}
+	// Victim never points at the most recently touched way.
+	for w := 0; w < 4; w++ {
+		s.OnHit(w)
+		if got := s.Victim(full(4)); got == w {
+			t.Errorf("victim %d equals MRU way %d", got, w)
+		}
+	}
+}
+
+func TestTreePLRUNeedsPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewTreePLRUSet(6)
+}
+
+func TestNRUVictim(t *testing.T) {
+	s := NewNRUSet(4)
+	for w := 0; w < 4; w++ {
+		s.OnFill(w)
+	}
+	// All referenced: Victim clears everything and returns way 0.
+	if v := s.Victim(full(4)); v != 0 {
+		t.Errorf("victim = %d, want 0", v)
+	}
+	// After the clear, touching way 0 makes way 1 the next victim.
+	s.OnHit(0)
+	if v := s.Victim(full(4)); v != 1 {
+		t.Errorf("victim = %d, want 1", v)
+	}
+}
+
+func TestSRRIPInsertAndPromote(t *testing.T) {
+	s := NewSRRIPSet(2)
+	s.OnFill(0)
+	s.OnFill(1)
+	s.OnHit(0) // way0 rrpv=0, way1 rrpv=2
+	// Aging: way1 reaches 3 first.
+	if v := s.Victim(full(2)); v != 1 {
+		t.Errorf("victim = %d, want 1", v)
+	}
+}
+
+func TestRandomVictimInRangeAndDeterministic(t *testing.T) {
+	s1 := NewRandomSet(8, NewRand(42))
+	s2 := NewRandomSet(8, NewRand(42))
+	for i := 0; i < 100; i++ {
+		v1 := s1.Victim(full(8))
+		v2 := s2.Victim(full(8))
+		if v1 != v2 {
+			t.Fatal("random policy not reproducible with equal seeds")
+		}
+		if v1 < 0 || v1 >= 8 {
+			t.Fatalf("victim %d out of range", v1)
+		}
+	}
+}
+
+// --- QLRU_H11_M1_R0_U0: the paper's §4.2.2 policy ---
+
+func TestQLRUInsertionAgeM1(t *testing.T) {
+	s := NewQLRUSet(4)
+	s.OnFill(2)
+	if ages := s.Ages(); ages[2] != 1 {
+		t.Errorf("insert age = %d, want 1 (M1)", ages[2])
+	}
+}
+
+func TestQLRUHitPromotionH11(t *testing.T) {
+	cases := []struct{ before, after uint8 }{{3, 1}, {2, 1}, {1, 0}, {0, 0}}
+	for _, c := range cases {
+		s := NewQLRUSet(1)
+		s.age[0] = c.before
+		s.OnHit(0)
+		if s.age[0] != c.after {
+			t.Errorf("hit on age %d -> %d, want %d (H11)", c.before, s.age[0], c.after)
+		}
+	}
+}
+
+func TestQLRUVictimR0LeftmostEmpty(t *testing.T) {
+	s := NewQLRUSet(4)
+	if v := s.Victim(occ(4, 0, 2)); v != 1 {
+		t.Errorf("victim = %d, want leftmost empty way 1 (R0)", v)
+	}
+}
+
+func TestQLRUVictimU0Aging(t *testing.T) {
+	s := NewQLRUSet(4)
+	s.age = []uint8{0, 1, 2, 1}
+	v := s.Victim(full(4))
+	// U0 increments all by 1 until a 3 exists: {1,2,3,2} -> way 2 evicted.
+	if v != 2 {
+		t.Errorf("victim = %d, want 2", v)
+	}
+	wantAges := []uint8{1, 2, 3, 2}
+	for i, a := range s.Ages() {
+		if a != wantAges[i] {
+			t.Errorf("age[%d] = %d, want %d", i, a, wantAges[i])
+		}
+	}
+}
+
+func TestQLRUVictimLeftmostAge3(t *testing.T) {
+	s := NewQLRUSet(4)
+	s.age = []uint8{2, 3, 3, 0}
+	if v := s.Victim(full(4)); v != 1 {
+		t.Errorf("victim = %d, want leftmost age-3 way 1", v)
+	}
+}
+
+func TestQLRUInvalidate(t *testing.T) {
+	s := NewQLRUSet(2)
+	s.age = []uint8{3, 3}
+	s.OnInvalidate(0)
+	if s.Ages()[0] != 0 {
+		t.Error("invalidate should clear age")
+	}
+}
+
+// TestQLRUFigure8StateEvolution walks the exact prime → victim → probe
+// sequence of Figure 8 on a 16-way set and checks the paper's key claim:
+// after the full sequence only one of {A, B} remains resident, and which
+// one depends on the victim's access order.
+func TestQLRUFigure8StateEvolution(t *testing.T) {
+	const ways = 16
+	run := func(victimOrder string) (aResident, bResident bool) {
+		c := NewCache("llc", 1, ways, 1, PolicyQLRU, nil)
+		// 15-line eviction sets EVS1 (EV0-EV14) and EVS2 (EV15-EV29).
+		evs1 := make([]int64, 15)
+		evs2 := make([]int64, 15)
+		for i := range evs1 {
+			evs1[i] = int64(i+1) * 64
+			evs2[i] = int64(i+16) * 64
+		}
+		addrA := int64(31 * 64)
+		addrB := int64(32 * 64)
+		// Prime: access EVS1 many times (saturate ages at 0), then A.
+		for round := 0; round < 4; round++ {
+			for _, a := range evs1 {
+				c.Fill(a)
+			}
+		}
+		c.Fill(addrA)
+		// Victim accesses in secret-dependent order.
+		if victimOrder == "A-B" {
+			c.Fill(addrA)
+			c.Fill(addrB)
+		} else {
+			c.Fill(addrB)
+			c.Fill(addrA)
+		}
+		// Probe: access EVS2.
+		for _, a := range evs2 {
+			c.Fill(a)
+		}
+		return c.Contains(addrA), c.Contains(addrB)
+	}
+
+	aRes, bRes := run("A-B")
+	if aRes || !bRes {
+		t.Errorf("A-B: residency A=%v B=%v, want A evicted, B resident", aRes, bRes)
+	}
+	aRes, bRes = run("B-A")
+	if !aRes || bRes {
+		t.Errorf("B-A: residency A=%v B=%v, want A resident, B evicted", aRes, bRes)
+	}
+}
+
+// TestQLRUFigure8IntermediateStates pins down the intermediate set states
+// the paper draws in Figure 8 (a) and (b) for the A-B order.
+func TestQLRUFigure8IntermediateStates(t *testing.T) {
+	const ways = 16
+	c := NewCache("llc", 1, ways, 1, PolicyQLRU, nil)
+	evs1 := make([]int64, 15)
+	for i := range evs1 {
+		evs1[i] = int64(i+1) * 64
+	}
+	addrA := int64(31 * 64)
+	addrB := int64(32 * 64)
+	for round := 0; round < 4; round++ {
+		for _, a := range evs1 {
+			c.Fill(a)
+		}
+	}
+	c.Fill(addrA)
+	qs := c.SetState(0).(*QLRUSet)
+	ages := qs.Ages()
+	// After prime: EVS1 saturated at age 0, A inserted at age 1.
+	for w := 0; w < 15; w++ {
+		if ages[w] != 0 {
+			t.Errorf("after prime: age[%d] = %d, want 0", w, ages[w])
+		}
+	}
+	if ages[15] != 1 {
+		t.Errorf("after prime: age[A] = %d, want 1 (M1)", ages[15])
+	}
+	// Victim A-B: hit on A (1->0), then miss on B ages everything to 3 and
+	// evicts the leftmost line (EV0), inserting B at age 1.
+	c.Fill(addrA)
+	c.Fill(addrB)
+	if !c.Contains(addrB) || c.Contains(evs1[0]) {
+		t.Error("B should replace EV0")
+	}
+	ages = qs.Ages()
+	if ages[0] != 1 {
+		t.Errorf("B age = %d, want 1", ages[0])
+	}
+	for w := 1; w < 16; w++ {
+		if ages[w] != 3 {
+			t.Errorf("age[%d] = %d, want 3 after U0 aging", w, ages[w])
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(5), NewRand(5)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewRand(0).Uint64() == 0 {
+		t.Error("zero seed must still produce values")
+	}
+}
+
+func TestRandIntn(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Intn(0)")
+		}
+	}()
+	r.Intn(0)
+}
+
+// Property: for every policy, Victim always returns an in-range way and
+// prefers an empty way when one exists.
+func TestVictimPropertyAllPolicies(t *testing.T) {
+	rng := NewRand(3)
+	for _, k := range []PolicyKind{PolicyLRU, PolicyTreePLRU, PolicyNRU, PolicySRRIP, PolicyQLRU, PolicyRandom} {
+		k := k
+		f := func(fillSeq []uint8, emptyWay uint8) bool {
+			const ways = 8
+			s := NewSetState(k, ways, rng)
+			for _, w := range fillSeq {
+				s.OnFill(int(w) % ways)
+				s.OnHit(int(w) % ways)
+			}
+			occupied := full(ways)
+			e := int(emptyWay) % ways
+			occupied[e] = false
+			if v := s.Victim(occupied); v != e {
+				// All policies here use first-empty; with one hole the
+				// victim must be that hole.
+				return false
+			}
+			v := s.Victim(full(ways))
+			return v >= 0 && v < ways
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package channel measures end-to-end covert-channel quality: bit error
+// probability versus bit rate (the Figure 11 curves). The rate/error
+// trade-off knob is the number of PoC repetitions per transmitted bit,
+// decoded by majority vote — the paper's "number of times the PoC is run
+// to leak each bit" (§4.4).
+package channel
+
+import (
+	"fmt"
+
+	"specinterference/internal/cache"
+	"specinterference/internal/core"
+)
+
+// NominalGHz converts simulated cycles to wall-clock time for the bps
+// figures, matching the paper's 3.6 GHz Kaby Lake base clock.
+const NominalGHz = 3.6
+
+// Config describes one channel measurement.
+type Config struct {
+	// PoC is the attack transmitting the bits.
+	PoC *core.PoC
+	// Reps is the number of trials per bit (majority decode; odd avoids
+	// ties).
+	Reps int
+	// Bits is the number of random bits transmitted.
+	Bits int
+	// SeedBase derives per-trial seeds (deterministic measurements).
+	SeedBase uint64
+}
+
+// Result is one point of the error-vs-rate curve.
+type Result struct {
+	Reps         int
+	Bits         int
+	Errors       int
+	Dropped      int // trials discarded as inconsistent (receiver noise)
+	ErrorRate    float64
+	TotalCycles  int64
+	CyclesPerBit float64
+	// Bps is the bit rate at the nominal clock.
+	Bps float64
+}
+
+// String renders the point like the Figure 11 axes.
+func (r Result) String() string {
+	return fmt.Sprintf("reps=%2d  rate=%8.0f bps  error=%.3f  (%d/%d bits, %.0f cycles/bit)",
+		r.Reps, r.Bps, r.ErrorRate, r.Errors, r.Bits, r.CyclesPerBit)
+}
+
+// Measure transmits Bits random bits through the PoC at Reps trials per
+// bit and reports the achieved error rate and rate.
+func Measure(cfg Config) (Result, error) {
+	if cfg.Reps < 1 || cfg.Bits < 1 {
+		return Result{}, fmt.Errorf("channel: reps and bits must be >= 1")
+	}
+	if cfg.PoC == nil {
+		return Result{}, fmt.Errorf("channel: nil PoC")
+	}
+	rng := cache.NewRand(cfg.SeedBase | 1)
+	res := Result{Reps: cfg.Reps, Bits: cfg.Bits}
+	seed := cfg.SeedBase*1_000_003 + 17
+	for b := 0; b < cfg.Bits; b++ {
+		bit := rng.Intn(2)
+		votes := [2]int{}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			seed++
+			out, err := cfg.PoC.RunBit(bit, seed)
+			if err != nil {
+				return Result{}, err
+			}
+			res.TotalCycles += out.Cycles
+			if out.OK {
+				votes[out.Decoded]++
+			} else {
+				res.Dropped++
+			}
+		}
+		decoded := 0
+		if votes[1] > votes[0] {
+			decoded = 1
+		}
+		if decoded != bit {
+			res.Errors++
+		}
+	}
+	res.ErrorRate = float64(res.Errors) / float64(res.Bits)
+	res.CyclesPerBit = float64(res.TotalCycles) / float64(res.Bits)
+	res.Bps = NominalGHz * 1e9 / res.CyclesPerBit
+	return res, nil
+}
+
+// Curve measures one point per repetition count, producing a Figure 11
+// style error-vs-rate curve (higher reps → lower rate → lower error).
+func Curve(poc *core.PoC, repsList []int, bits int, seedBase uint64) ([]Result, error) {
+	var out []Result
+	for i, reps := range repsList {
+		r, err := Measure(Config{
+			PoC: poc, Reps: reps, Bits: bits,
+			SeedBase: seedBase + uint64(i)*7_919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// DefaultReps is the repetition sweep used by the Figure 11 harnesses.
+func DefaultReps() []int { return []int{1, 3, 5, 9, 15} }
+
+// DCacheFigure11 returns the Figure 11(a) PoC with its calibrated noise
+// operating point (adaptive-replacement deviations dominate, §4.2.2).
+func DCacheFigure11() *core.PoC {
+	p := core.NewDCachePoC("invisispec-spectre", 40)
+	p.ReplNoisePct = 5
+	return p
+}
+
+// ICacheFigure11 returns the Figure 11(b) PoC with its calibrated noise
+// operating point (DRAM jitter shifts the RS drain against the squash).
+func ICacheFigure11() *core.PoC {
+	return core.NewICachePoC("invisispec-spectre", 120)
+}

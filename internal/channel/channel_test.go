@@ -1,0 +1,102 @@
+package channel
+
+import (
+	"testing"
+
+	"specinterference/internal/core"
+)
+
+func TestNoiselessChannelIsPerfect(t *testing.T) {
+	poc := core.NewDCachePoC("invisispec-spectre", 0)
+	r, err := Measure(Config{PoC: poc, Reps: 1, Bits: 8, SeedBase: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ErrorRate != 0 {
+		t.Errorf("noiseless channel error = %.2f, want 0", r.ErrorRate)
+	}
+	if r.Bps <= 0 || r.CyclesPerBit <= 0 {
+		t.Error("rate accounting broken")
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	mk := func() Config {
+		return Config{PoC: DCacheFigure11(), Reps: 3, Bits: 6, SeedBase: 11}
+	}
+	a, err := Measure(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Errors != b.Errors || a.TotalCycles != b.TotalCycles {
+		t.Error("equal seeds must reproduce the measurement")
+	}
+}
+
+func TestCurveShapeICache(t *testing.T) {
+	// Figure 11(b)'s qualitative shape: more repetitions per bit cost
+	// cycles (lower rate) and reduce error.
+	results, err := Curve(ICacheFigure11(), []int{1, 9}, 16, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].CyclesPerBit <= results[0].CyclesPerBit {
+		t.Error("more reps must lower the bit rate")
+	}
+	if results[1].ErrorRate > results[0].ErrorRate {
+		t.Errorf("error should not grow with reps: %.2f -> %.2f",
+			results[0].ErrorRate, results[1].ErrorRate)
+	}
+}
+
+func TestICacheChannelFasterThanDCache(t *testing.T) {
+	// Figure 11: the I-Cache PoC reaches usable error at several times the
+	// D-Cache PoC's rate (465 vs ~100 bps on the paper's machine).
+	d, err := Measure(Config{PoC: DCacheFigure11(), Reps: 1, Bits: 8, SeedBase: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := Measure(Config{PoC: ICacheFigure11(), Reps: 1, Bits: 8, SeedBase: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.CyclesPerBit >= d.CyclesPerBit {
+		t.Errorf("I-Cache channel (%0.f cyc/bit) should beat D-Cache (%.0f)",
+			i.CyclesPerBit, d.CyclesPerBit)
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	if _, err := Measure(Config{PoC: nil, Reps: 1, Bits: 1}); err == nil {
+		t.Error("nil PoC accepted")
+	}
+	if _, err := Measure(Config{PoC: DCacheFigure11(), Reps: 0, Bits: 1}); err == nil {
+		t.Error("zero reps accepted")
+	}
+	if _, err := Measure(Config{PoC: DCacheFigure11(), Reps: 1, Bits: 0}); err == nil {
+		t.Error("zero bits accepted")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Reps: 3, Bits: 10, Errors: 2, ErrorRate: 0.2, CyclesPerBit: 1000, Bps: 3.6e6}
+	if r.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestDefaultRepsOddAndAscending(t *testing.T) {
+	reps := DefaultReps()
+	for i, r := range reps {
+		if r%2 == 0 {
+			t.Errorf("reps[%d]=%d is even (majority ties)", i, r)
+		}
+		if i > 0 && reps[i] <= reps[i-1] {
+			t.Error("reps not ascending")
+		}
+	}
+}

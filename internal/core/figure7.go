@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"specinterference/internal/isa"
+	"specinterference/internal/stats"
+)
+
+// Figure7Result holds the interference-contention histogram data of
+// Figure 7: the interference target's execution time with and without the
+// gadget running.
+type Figure7Result struct {
+	// Baseline and Interference are per-trial target latencies: cycles
+	// from the first f(z) instruction issuing to load A completing.
+	Baseline     []float64
+	Interference []float64
+	// BaseHist and IntHist share one geometry for overlap computation.
+	BaseHist, IntHist *stats.Histogram
+	// Separation is the difference of the arm means.
+	Separation float64
+	// Overlap is the overlap coefficient of the two histograms (Figure 7
+	// shows clearly separated distributions, i.e. a small overlap).
+	Overlap float64
+}
+
+// Figure7 measures the §4.2.1 contention histogram: `trials` runs per arm
+// of the GDNPEU sender, the baseline arm with secret 0 (gadget inert) and
+// the interference arm with secret 1. Jitter injects the DRAM latency
+// noise that gives each arm its spread.
+func Figure7(trials, jitter int, seedBase uint64) (*Figure7Result, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("core: need at least one trial")
+	}
+	res := &Figure7Result{}
+	for secret := 0; secret <= 1; secret++ {
+		for i := 0; i < trials; i++ {
+			lat, err := measureTargetLatency(secret, jitter, seedBase+uint64(2*i+secret))
+			if err != nil {
+				return nil, err
+			}
+			if secret == 0 {
+				res.Baseline = append(res.Baseline, lat)
+			} else {
+				res.Interference = append(res.Interference, lat)
+			}
+		}
+	}
+	lo, hi := rangeOf(append(append([]float64{}, res.Baseline...), res.Interference...))
+	res.BaseHist = stats.NewHistogram(lo, hi, 30)
+	res.IntHist = stats.NewHistogram(lo, hi, 30)
+	res.BaseHist.AddAll(res.Baseline)
+	res.IntHist.AddAll(res.Interference)
+	res.Separation = stats.Summarize(res.Interference).Mean - stats.Summarize(res.Baseline).Mean
+	res.Overlap = stats.Overlap(res.BaseHist, res.IntHist)
+	return res, nil
+}
+
+// measureTargetLatency runs one traced GDNPEU trial and extracts the
+// target latency: first f-chain sqrt issue to load A completion.
+func measureTargetLatency(secret, jitter int, seed uint64) (float64, error) {
+	r, err := RunTrial(TrialSpec{
+		Gadget: GadgetNPEU, Ordering: OrderVDVD,
+		Policy: nil, // measured on the baseline machine, like the PoC
+		Secret: secret, Jitter: jitter, Seed: seed, Trace: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	var fIssue, aComplete int64 = -1, -1
+	for _, rec := range r.Records {
+		if rec.Squashed {
+			continue
+		}
+		if rec.Inst.Op == isa.Sqrt && (fIssue < 0 || rec.Issue < fIssue) {
+			fIssue = rec.Issue
+		}
+		if rec.PC == r.Victim.APC {
+			aComplete = rec.Complete
+		}
+	}
+	if fIssue < 0 || aComplete < 0 {
+		return 0, fmt.Errorf("core: trace missing f-chain or load A (secret=%d)", secret)
+	}
+	return float64(aComplete - fIssue), nil
+}
+
+func rangeOf(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo - 5, hi + 5
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"specinterference/internal/schemes"
+)
+
+// MatrixCell is one entry of the Table 1 vulnerability matrix.
+type MatrixCell struct {
+	Scheme   string
+	Gadget   Gadget
+	Ordering Ordering
+	// Vulnerable is true when the visible LLC access pattern over the
+	// probe lines differs between secret values — the §3.3 criterion
+	// ("achieving such secret-dependent ordering is equivalent to forming
+	// a covert channel").
+	Vulnerable bool
+	// Sig0 and Sig1 are the probe signatures for secret 0 and 1.
+	Sig0, Sig1 string
+	// RefCycle is the calibrated attacker reference time (AD orderings).
+	RefCycle int64
+}
+
+// Combos lists the gadget × ordering combinations of Table 1.
+func Combos() [][2]interface{} {
+	return [][2]interface{}{
+		{GadgetNPEU, OrderVDVD},
+		{GadgetNPEU, OrderVDAD},
+		{GadgetNPEU, OrderVIAD},
+		{GadgetMSHR, OrderVDVD},
+		{GadgetMSHR, OrderVDAD},
+		{GadgetMSHR, OrderVIAD},
+		{GadgetRS, OrderVIAD},
+	}
+}
+
+// Classify runs both secret values for one scheme/gadget/ordering and
+// decides vulnerability. For the AD orderings it first calibrates the
+// attacker's reference cycle from two solo runs (the paper's attacker
+// issues its access "at a fixed time after inducing the mis-speculation"),
+// then replays both secrets with the cross-core reference injected.
+func Classify(schemeName string, g Gadget, ord Ordering) (MatrixCell, error) {
+	cell := MatrixCell{Scheme: schemeName, Gadget: g, Ordering: ord}
+	mkSpec := func(secret int, refCycle int64) (TrialSpec, error) {
+		policy, err := schemes.ByName(schemeName)
+		if err != nil {
+			return TrialSpec{}, err
+		}
+		return TrialSpec{
+			Gadget: g, Ordering: ord, Policy: policy,
+			Secret: secret, RefCycle: refCycle,
+		}, nil
+	}
+	run := func(secret int, refCycle int64) (*TrialResult, error) {
+		spec, err := mkSpec(secret, refCycle)
+		if err != nil {
+			return nil, err
+		}
+		return RunTrial(spec)
+	}
+
+	refCycle := int64(0)
+	if ord == OrderVDAD || ord == OrderVIAD {
+		r0, err := run(0, 0)
+		if err != nil {
+			return cell, err
+		}
+		r1, err := run(1, 0)
+		if err != nil {
+			return cell, err
+		}
+		t0, t1 := r0.SecretLineCycle, r1.SecretLineCycle
+		switch {
+		case t0 == t1:
+			// The secret line appears at the same time (or never) under
+			// both secrets: no reference clock can distinguish them.
+			cell.Sig0, cell.Sig1 = r0.Signature(), r1.Signature()
+			cell.Vulnerable = cell.Sig0 != cell.Sig1
+			return cell, nil
+		case t0 < 0 || t1 < 0:
+			// Present under one secret only (the GIRS presence channel):
+			// any reference time works; pick one after the present access.
+			present := t0
+			if present < 0 {
+				present = t1
+			}
+			refCycle = present + 50
+		default:
+			refCycle = (t0 + t1) / 2
+		}
+	}
+
+	r0, err := run(0, refCycle)
+	if err != nil {
+		return cell, err
+	}
+	r1, err := run(1, refCycle)
+	if err != nil {
+		return cell, err
+	}
+	cell.Sig0, cell.Sig1 = r0.Signature(), r1.Signature()
+	cell.Vulnerable = cell.Sig0 != cell.Sig1
+	cell.RefCycle = refCycle
+	return cell, nil
+}
+
+// VulnerabilityMatrix classifies every scheme in schemeNames against every
+// gadget/ordering combination.
+func VulnerabilityMatrix(schemeNames []string) ([]MatrixCell, error) {
+	var cells []MatrixCell
+	for _, combo := range Combos() {
+		g := combo[0].(Gadget)
+		ord := combo[1].(Ordering)
+		for _, name := range schemeNames {
+			cell, err := Classify(name, g, ord)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s/%s/%s: %w", name, g, ord, err)
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// ExpectedTable1 returns the paper's Table 1 as a map from
+// "gadget|ordering" to the set of vulnerable scheme names (the unsafe
+// baseline, trivially vulnerable, is included for completeness).
+func ExpectedTable1() map[string]map[string]bool {
+	set := func(names ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	// cleanupspec is our §6 extension (not part of the paper's Table 1):
+	// it leaves bound-to-retire loads untouched, so every GDNPEU ordering
+	// and the AD orderings of GDMSHR and GIRS stay open; its undo of
+	// speculative D-fills does not help because the reordered loads are
+	// never speculative. Like the unsafe baseline it escapes GDMSHR VD-VD
+	// only because its visible gadget loads cache the reference line.
+	allButFences := []string{
+		"unsafe", "invisispec-spectre", "invisispec-futuristic",
+		"dom", "dom-tso", "safespec-wfb", "safespec-wfc",
+		"muontrap", "condspec", "cleanupspec",
+	}
+	return map[string]map[string]bool{
+		key(GadgetNPEU, OrderVDVD): set("unsafe", "invisispec-spectre", "dom", "safespec-wfb", "cleanupspec"),
+		key(GadgetNPEU, OrderVDAD): set(allButFences...),
+		key(GadgetNPEU, OrderVIAD): set(allButFences...),
+		// Note: the unprotected baseline is NOT in the GDMSHR VD-VD set —
+		// with no defense the gadget's loads are visible, so the reference
+		// load's line is already cached and its LLC access (the "clock")
+		// disappears. The paper's Table 1 likewise only lists defended
+		// designs here.
+		key(GadgetMSHR, OrderVDVD): set("invisispec-spectre", "safespec-wfb"),
+		key(GadgetMSHR, OrderVDAD): set("unsafe", "invisispec-spectre", "invisispec-futuristic",
+			"safespec-wfb", "safespec-wfc", "muontrap", "cleanupspec"),
+		key(GadgetMSHR, OrderVIAD): set("unsafe", "invisispec-spectre", "invisispec-futuristic",
+			"safespec-wfb", "safespec-wfc", "muontrap", "cleanupspec"),
+		key(GadgetRS, OrderVIAD): set("unsafe", "invisispec-spectre", "invisispec-futuristic",
+			"dom", "dom-tso", "cleanupspec"),
+	}
+}
+
+// key renders a gadget/ordering pair as an ExpectedTable1 map key.
+func key(g Gadget, ord Ordering) string { return g.String() + "|" + ord.String() }
+
+// FormatMatrix renders cells as a Table 1-style text table.
+func FormatMatrix(cells []MatrixCell) string {
+	var b strings.Builder
+	byCombo := map[string][]MatrixCell{}
+	var order []string
+	for _, c := range cells {
+		k := key(c.Gadget, c.Ordering)
+		if _, seen := byCombo[k]; !seen {
+			order = append(order, k)
+		}
+		byCombo[k] = append(byCombo[k], c)
+	}
+	fmt.Fprintf(&b, "%-22s %s\n", "Gadget|Ordering", "Vulnerable schemes")
+	for _, k := range order {
+		var vuln []string
+		for _, c := range byCombo[k] {
+			if c.Vulnerable {
+				vuln = append(vuln, c.Scheme)
+			}
+		}
+		if len(vuln) == 0 {
+			vuln = []string{"-"}
+		}
+		fmt.Fprintf(&b, "%-22s %s\n", k, strings.Join(vuln, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"specinterference/internal/schemes"
+	"specinterference/internal/uarch"
+)
+
+// BitOutcome is the result of one end-to-end PoC trial.
+type BitOutcome struct {
+	// Decoded is the bit the receiver read (valid when OK).
+	Decoded int
+	// OK is false when the receiver saw an inconsistent state (discarded
+	// as noise, as in §4.2.3 step 5).
+	OK bool
+	// Cycles is the total simulated time of the trial, attacker phases
+	// included (the denominator of the Figure 11 bit rate).
+	Cycles int64
+	// LatA and LatB are the receiver's probe latencies (diagnostics).
+	LatA, LatB int64
+}
+
+// PoC is an end-to-end cross-core attack: a victim core running under an
+// invisible-speculation scheme, and an attacker core that primes and
+// probes the shared LLC.
+type PoC struct {
+	// SchemeName selects the victim's policy (schemes.ByName); the paper's
+	// PoCs emulate invisible speculation on real hardware, here the scheme
+	// actually runs.
+	SchemeName string
+	// Jitter adds DRAM latency noise (0 = deterministic).
+	Jitter int
+	// ReplNoisePct makes LLC victim selection deviate randomly this
+	// percent of the time (the adaptive-replacement noise of §4.2.2; the
+	// D-Cache receiver's dominant error source).
+	ReplNoisePct int
+	// Kind selects the D-Cache (§4.2) or I-Cache (§4.3) attack.
+	Kind PoCKind
+	// Params overrides victim chain lengths.
+	Params VictimParams
+	// Tweak mutates the machine configuration (ablations).
+	Tweak func(*uarch.Config)
+}
+
+// PoCKind selects the attack variant.
+type PoCKind int
+
+// PoC kinds.
+const (
+	// DCachePoC is the §4.2 GDNPEU attack decoded through QLRU
+	// replacement state.
+	DCachePoC PoCKind = iota
+	// ICachePoC is the §4.3 GIRS attack decoded through Flush+Reload on
+	// the target instruction line.
+	ICachePoC
+	// MSHRPoC is the GDMSHR VD-VD attack decoded through QLRU replacement
+	// state of the set holding A and the gadget line.
+	MSHRPoC
+)
+
+// String implements fmt.Stringer.
+func (k PoCKind) String() string {
+	switch k {
+	case DCachePoC:
+		return "dcache"
+	case ICachePoC:
+		return "icache"
+	case MSHRPoC:
+		return "mshr"
+	default:
+		return fmt.Sprintf("poc(%d)", int(k))
+	}
+}
+
+// NewDCachePoC returns the §4.2 attack against scheme (default
+// invisispec-spectre when empty).
+func NewDCachePoC(scheme string, jitter int) *PoC {
+	return &PoC{SchemeName: orDefault(scheme), Jitter: jitter, Kind: DCachePoC}
+}
+
+// NewICachePoC returns the §4.3 attack against scheme.
+func NewICachePoC(scheme string, jitter int) *PoC {
+	return &PoC{SchemeName: orDefault(scheme), Jitter: jitter, Kind: ICachePoC}
+}
+
+func orDefault(scheme string) string {
+	if scheme == "" {
+		return "invisispec-spectre"
+	}
+	return scheme
+}
+
+func (p *PoC) spec(secret int, seed uint64) (TrialSpec, error) {
+	pol, err := schemes.ByName(p.SchemeName)
+	if err != nil {
+		return TrialSpec{}, err
+	}
+	spec := TrialSpec{
+		Policy: pol, Secret: secret, Jitter: p.Jitter,
+		ReplNoisePct: p.ReplNoisePct, Seed: seed, Params: p.Params,
+		Tweak: p.Tweak,
+	}
+	switch p.Kind {
+	case DCachePoC:
+		spec.Gadget, spec.Ordering = GadgetNPEU, OrderVDVD
+	case MSHRPoC:
+		spec.Gadget, spec.Ordering = GadgetMSHR, OrderVDVD
+	case ICachePoC:
+		spec.Gadget, spec.Ordering = GadgetRS, OrderVIAD
+	default:
+		return TrialSpec{}, fmt.Errorf("core: unknown PoC kind %d", int(p.Kind))
+	}
+	return spec, nil
+}
+
+// RunBit executes one full prime → victim → probe trial transmitting
+// secret; seed varies the jitter draw between repetitions.
+func (p *PoC) RunBit(secret int, seed uint64) (BitOutcome, error) {
+	spec, err := p.spec(secret, seed)
+	if err != nil {
+		return BitOutcome{}, err
+	}
+	switch p.Kind {
+	case ICachePoC:
+		return p.runICacheBit(spec)
+	default:
+		return p.runReplacementStateBit(spec)
+	}
+}
+
+// runReplacementStateBit is the Figure 9 flow: eviction-set init, prime,
+// mistrained victim, probe, decode.
+func (p *PoC) runReplacementStateBit(spec TrialSpec) (BitOutcome, error) {
+	sys, l, _, err := NewAttackSystem(spec)
+	if err != nil {
+		return BitOutcome{}, err
+	}
+	h := sys.Hierarchy()
+	if p.Kind == MSHRPoC {
+		// The MSHR victim's reference load targets the gadget's first line.
+		l.BAddr = l.GadgetBase
+	}
+	recv, err := NewQLRUReceiver(h, l)
+	if err != nil {
+		return BitOutcome{}, err
+	}
+	recv.FlushAll(h)
+
+	// Phase 1: attacker primes while the victim is held.
+	victim := sys.Core(0)
+	victim.SetPaused(true)
+	if err := runAttackerProgram(sys, recv.PrimeProgram(), trialMaxCycles); err != nil {
+		return BitOutcome{}, fmt.Errorf("core: prime: %w", err)
+	}
+
+	// Phase 2: the victim runs its mis-speculated sender.
+	victim.SetPaused(false)
+	if err := sys.RunUntilCoreHalts(0, trialMaxCycles); err != nil {
+		return BitOutcome{}, fmt.Errorf("core: victim: %w", err)
+	}
+
+	// Phase 3: attacker probes and times.
+	if err := runAttackerProgram(sys, recv.ProbeProgram(), trialMaxCycles); err != nil {
+		return BitOutcome{}, fmt.Errorf("core: probe: %w", err)
+	}
+	latB := sys.Core(1).Reg(RegLatB)
+	latA := sys.Core(1).Reg(RegLatA)
+	bit, ok := recv.Decode(latB, latA)
+	return BitOutcome{Decoded: bit, OK: ok, Cycles: sys.Cycle(), LatA: latA, LatB: latB}, nil
+}
+
+// runICacheBit is the §4.3 flow: flush target, run victim, timed reload.
+func (p *PoC) runICacheBit(spec TrialSpec) (BitOutcome, error) {
+	sys, _, v, err := NewAttackSystem(spec)
+	if err != nil {
+		return BitOutcome{}, err
+	}
+	if err := sys.RunUntilCoreHalts(0, trialMaxCycles); err != nil {
+		return BitOutcome{}, fmt.Errorf("core: victim: %w", err)
+	}
+	recv := &FlushReloadReceiver{Target: v.TargetLine}
+	if err := runAttackerProgram(sys, recv.ReloadProgram(), trialMaxCycles); err != nil {
+		return BitOutcome{}, fmt.Errorf("core: reload: %w", err)
+	}
+	lat := sys.Core(1).Reg(RegLatA)
+	bit, ok := recv.Decode(lat)
+	return BitOutcome{Decoded: bit, OK: ok, Cycles: sys.Cycle(), LatA: lat}, nil
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"specinterference/internal/asm"
+	"specinterference/internal/cache"
+	"specinterference/internal/isa"
+	"specinterference/internal/mem"
+	"specinterference/internal/uarch"
+)
+
+// attackerCodeBase is where attacker-core programs are mapped; its lines
+// land in low LLC sets, away from the attacked set.
+const attackerCodeBase = 0x0048_0000
+
+// trainRounds is how often the harness trains the victim branch taken
+// before each trial (the §4.1 mistraining loop).
+const trainRounds = 4
+
+// trialMaxCycles bounds one trial.
+const trialMaxCycles = 500_000
+
+// TrialSpec describes one sender run.
+type TrialSpec struct {
+	Gadget   Gadget
+	Ordering Ordering
+	// Policy is the victim core's speculation scheme (nil = unprotected).
+	// Stateful policies must be fresh per trial.
+	Policy uarch.SpecPolicy
+	// Secret is the bit the mis-speculated access load reads (0 or 1).
+	Secret int
+	// RefCycle, when positive, injects the attacker's cross-core reference
+	// load at this absolute cycle (the AD orderings' "reference clock").
+	RefCycle int64
+	// Jitter adds uniform [0,Jitter] cycles to DRAM accesses (0 for the
+	// deterministic matrix, >0 for the noisy channel runs).
+	Jitter int
+	// ReplNoisePct perturbs LLC victim selection (see
+	// cache.Config.LLCReplacementNoisePct).
+	ReplNoisePct int
+	// Seed seeds the hierarchy RNG.
+	Seed uint64
+	// Params overrides the victim chain lengths (zero value = defaults).
+	Params VictimParams
+	// Trace records victim instruction records in the result.
+	Trace bool
+	// Tweak, when set, mutates the machine configuration before the system
+	// is built (ablations: CDB width, issue policy, MSHR count, LLC
+	// replacement, the §5.4 advanced-defense knobs).
+	Tweak func(*uarch.Config)
+}
+
+func (s *TrialSpec) params() VictimParams {
+	if s.Params == (VictimParams{}) {
+		return DefaultVictimParams()
+	}
+	return s.Params
+}
+
+// ProbeEvent is one visible access to a probe line.
+type ProbeEvent struct {
+	Core  int
+	Line  int64
+	Cycle int64
+}
+
+// TrialResult is the outcome of one sender run.
+type TrialResult struct {
+	// Events lists visible accesses to the probe lines, in order.
+	Events []ProbeEvent
+	// SecretLineCycle is the cycle of the first visible access to the
+	// secret-carrying line (load A or the target instruction line), or -1
+	// when it never became visible.
+	SecretLineCycle int64
+	// VictimStats is the victim core's counters.
+	VictimStats uarch.CoreStats
+	// Records holds victim instruction records when TrialSpec.Trace is set.
+	Records []uarch.InstRecord
+	// Layout and Victim expose the generated artifacts for receivers.
+	Layout Layout
+	Victim *Victim
+	// System is the post-run machine, for receivers that keep probing the
+	// same hierarchy (the PoCs) and for white-box tests.
+	System *uarch.System
+}
+
+type recordSink struct{ recs []uarch.InstRecord }
+
+func (r *recordSink) Record(_ int, rec uarch.InstRecord) { r.recs = append(r.recs, rec) }
+
+// NewAttackSystem builds the two-core system, layout and victim for a
+// spec, fully primed and trained but not yet run. Exposed for receivers
+// and tests that orchestrate phases themselves.
+func NewAttackSystem(spec TrialSpec) (*uarch.System, Layout, *Victim, error) {
+	cfg := AttackConfig()
+	cfg.Cache.MemJitter = spec.Jitter
+	cfg.Cache.LLCReplacementNoisePct = spec.ReplNoisePct
+	if spec.Seed != 0 {
+		cfg.Cache.Seed = spec.Seed
+	}
+	if spec.Tweak != nil {
+		spec.Tweak(&cfg)
+	}
+	sys, err := uarch.NewSystem(cfg, mem.New())
+	if err != nil {
+		return nil, Layout{}, nil, err
+	}
+	h := sys.Hierarchy()
+	l := DefaultLayout(h)
+	v, err := BuildVictim(spec.Gadget, spec.Ordering, l, spec.params())
+	if err != nil {
+		return nil, Layout{}, nil, err
+	}
+	if err := prepareTrial(sys, l, v, spec); err != nil {
+		return nil, Layout{}, nil, err
+	}
+	return sys, l, v, nil
+}
+
+// prepareTrial sets up memory contents, cache priming, branch training and
+// victim registers for one trial.
+func prepareTrial(sys *uarch.System, l Layout, v *Victim, spec TrialSpec) error {
+	if spec.Secret != 0 && spec.Secret != 1 {
+		return fmt.Errorf("core: secret must be 0 or 1, got %d", spec.Secret)
+	}
+	m := sys.Memory()
+	h := sys.Hierarchy()
+	p := spec.params()
+
+	// The out-of-bounds element T[i] holds the secret; N holds the bound.
+	m.Write64(l.TAddr+l.Index*8, int64(spec.Secret))
+	m.Write64(l.NAddr, 4)
+
+	// Victim code: warm every line except the secret-encoding target line,
+	// which must start cold.
+	for pc := 0; pc < v.Prog.Len(); pc++ {
+		line := mem.LineAddr(v.Prog.InstAddr(pc))
+		if line == v.TargetLine {
+			continue
+		}
+		h.WarmInst(0, line, cache.LevelL1)
+	}
+	if v.TargetLine != 0 {
+		h.Flush(v.TargetLine)
+	}
+
+	// Data priming (§4.2.3 step 1 and the per-gadget setup of §3.2.2).
+	h.Flush(l.NAddr)
+	h.Flush(l.AAddr)
+	h.Flush(l.BAddr)
+	h.Flush(l.RefAddr)
+	for k := 0; k < p.MSHRLoads; k++ {
+		h.Flush(l.GadgetBase + int64(k)*mem.LineBytes)
+	}
+	h.Warm(0, l.ZAddr, cache.LevelLLC)
+	h.Warm(0, l.TAddr+l.Index*8, cache.LevelL1)
+	switch spec.Gadget {
+	case GadgetNPEU:
+		// Transmitter: S[64] hot (secret=1 hits), S[0] cold.
+		h.Flush(l.SBase)
+		h.Warm(0, l.SBase+64, cache.LevelL1)
+	case GadgetRS:
+		// Inverted per Figure 5: S[0] hot (secret=0 drains the RS),
+		// S[64] cold (secret=1 back-throttles the frontend).
+		h.Warm(0, l.SBase, cache.LevelL1)
+		h.Flush(l.SBase + 64)
+	case GadgetMSHR:
+		// The gadget loads must all miss; S is unused.
+		h.Flush(l.SBase)
+		h.Flush(l.SBase + 64)
+	}
+
+	// Mistrain the bounds-check branch toward taken.
+	sys.Core(0).Predictor().Train(v.BranchPC, true, trainRounds)
+
+	if err := sys.LoadProgram(0, v.Prog, spec.Policy); err != nil {
+		return err
+	}
+	c := sys.Core(0)
+	c.SetReg(RegN, l.NAddr)
+	c.SetReg(RegZ, l.ZAddr)
+	c.SetReg(RegT, l.TAddr)
+	c.SetReg(RegS, l.SBase)
+	c.SetReg(RegABase, l.AAddr)
+	c.SetReg(RegBBase, l.BAddr)
+	c.SetReg(RegIdx, l.Index)
+	c.SetReg(RegZero, 0)
+	return nil
+}
+
+// refProgram builds the attacker's reference-clock program: one load of
+// RefAddr, then halt.
+func refProgram() *isa.Program {
+	return asm.NewBuilder().
+		SetCodeBase(attackerCodeBase).
+		Load(isa.R2, isa.R1, 0).
+		Halt().
+		MustBuild()
+}
+
+// injectReference loads the reference program on the attacker core and
+// warms its code so the reference load issues immediately.
+func injectReference(sys *uarch.System, l Layout) error {
+	p := refProgram()
+	for pc := 0; pc < p.Len(); pc++ {
+		sys.Hierarchy().WarmInst(1, p.InstAddr(pc), cache.LevelL1)
+	}
+	if err := sys.LoadProgram(1, p, nil); err != nil {
+		return err
+	}
+	sys.Core(1).SetReg(isa.R1, l.RefAddr)
+	return nil
+}
+
+// RunTrial executes one sender run and returns the probe-line events.
+func RunTrial(spec TrialSpec) (*TrialResult, error) {
+	sys, l, v, err := NewAttackSystem(spec)
+	if err != nil {
+		return nil, err
+	}
+	sink := &recordSink{}
+	if spec.Trace {
+		sys.Core(0).SetTraceHook(sink)
+	}
+	h := sys.Hierarchy()
+	h.ResetLog()
+
+	if spec.RefCycle > 0 {
+		for sys.Cycle() < spec.RefCycle && !sys.AllHalted() {
+			sys.Step()
+		}
+		if err := injectReference(sys, l); err != nil {
+			return nil, err
+		}
+	}
+	if err := sys.Run(trialMaxCycles); err != nil {
+		return nil, err
+	}
+
+	res := &TrialResult{
+		SecretLineCycle: -1,
+		VictimStats:     sys.Core(0).Stats(),
+		Records:         sink.recs,
+		Layout:          l,
+		Victim:          v,
+		System:          sys,
+	}
+	probes := probeLines(spec.Gadget, spec.Ordering, l, v)
+	secretLine := probes[0]
+	for _, a := range h.Log() {
+		for _, pl := range probes {
+			if a.Line == pl {
+				res.Events = append(res.Events, ProbeEvent{Core: a.Core, Line: a.Line, Cycle: a.Cycle})
+				if a.Line == secretLine && res.SecretLineCycle < 0 {
+					res.SecretLineCycle = a.Cycle
+				}
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// Signature renders the order of probe events without timing — the view
+// the §5.1 attacker model grants (the sequence of visible LLC accesses).
+func (r *TrialResult) Signature() string {
+	s := ""
+	for _, e := range r.Events {
+		s += fmt.Sprintf("c%d:%#x;", e.Core, e.Line)
+	}
+	return s
+}

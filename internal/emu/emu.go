@@ -1,0 +1,200 @@
+// Package emu is the architectural (golden-model) emulator: it executes
+// programs sequentially with no microarchitecture at all. It serves three
+// roles:
+//
+//  1. differential-testing oracle for the out-of-order core (final
+//     architectural state must match),
+//  2. perfect branch oracle — the recorded branch outcomes drive the
+//     "NoSpec(E)" executions required by the §5.1 security definition,
+//  3. a fast way for tests to compute expected register/memory values.
+package emu
+
+import (
+	"fmt"
+
+	"specinterference/internal/isa"
+	"specinterference/internal/mem"
+)
+
+// BranchRecord is the outcome of one dynamic conditional-branch execution.
+type BranchRecord struct {
+	PC    int
+	Taken bool
+}
+
+// Result is the outcome of an emulated run.
+type Result struct {
+	// Regs is the final architectural register file.
+	Regs [isa.NumRegs]int64
+	// InstCount is the number of dynamic instructions executed (including
+	// the final halt).
+	InstCount int
+	// Branches lists every dynamic conditional branch outcome in order.
+	Branches []BranchRecord
+	// Halted is true when the program reached a halt (vs. the step limit).
+	Halted bool
+	// LoadAddrs lists every dynamic load address in order (used by priming
+	// and security analyses).
+	LoadAddrs []int64
+}
+
+// DefaultMaxSteps bounds runaway programs.
+const DefaultMaxSteps = 2_000_000
+
+// Machine is an architectural emulator instance.
+type Machine struct {
+	prog *isa.Program
+	mem  *mem.Memory
+	// MaxSteps bounds the dynamic instruction count; DefaultMaxSteps when 0.
+	MaxSteps int
+	// RecordBranches enables Branches in the result.
+	RecordBranches bool
+	// RecordLoads enables LoadAddrs in the result.
+	RecordLoads bool
+
+	regs [isa.NumRegs]int64
+}
+
+// New returns a Machine executing prog against memory m. The memory is
+// mutated by stores.
+func New(prog *isa.Program, m *mem.Memory) *Machine {
+	return &Machine{prog: prog, mem: m}
+}
+
+// SetReg sets an initial register value.
+func (e *Machine) SetReg(r isa.Reg, v int64) { e.regs[r] = v }
+
+// Run executes the program from instruction 0 until halt or the step limit.
+func (e *Machine) Run() (*Result, error) {
+	max := e.MaxSteps
+	if max == 0 {
+		max = DefaultMaxSteps
+	}
+	res := &Result{}
+	pc := 0
+	for steps := 0; steps < max; steps++ {
+		if pc < 0 || pc >= e.prog.Len() {
+			return nil, fmt.Errorf("emu: pc %d out of range [0,%d)", pc, e.prog.Len())
+		}
+		in := e.prog.Insts[pc]
+		res.InstCount++
+		next := pc + 1
+		switch in.Op {
+		case isa.Nop, isa.Fence, isa.Flush:
+			// Architecturally invisible. Flush affects only cache state.
+		case isa.Halt:
+			res.Halted = true
+			res.Regs = e.regs
+			return res, nil
+		case isa.MovI:
+			e.regs[in.Dst] = in.Imm
+		case isa.Mov:
+			e.regs[in.Dst] = e.regs[in.Src1]
+		case isa.Add:
+			e.regs[in.Dst] = e.regs[in.Src1] + e.regs[in.Src2]
+		case isa.AddI:
+			e.regs[in.Dst] = e.regs[in.Src1] + in.Imm
+		case isa.Sub:
+			e.regs[in.Dst] = e.regs[in.Src1] - e.regs[in.Src2]
+		case isa.And:
+			e.regs[in.Dst] = e.regs[in.Src1] & e.regs[in.Src2]
+		case isa.Or:
+			e.regs[in.Dst] = e.regs[in.Src1] | e.regs[in.Src2]
+		case isa.Xor:
+			e.regs[in.Dst] = e.regs[in.Src1] ^ e.regs[in.Src2]
+		case isa.ShlI:
+			e.regs[in.Dst] = e.regs[in.Src1] << uint(in.Imm&63)
+		case isa.ShrI:
+			e.regs[in.Dst] = int64(uint64(e.regs[in.Src1]) >> uint(in.Imm&63))
+		case isa.Mul:
+			e.regs[in.Dst] = e.regs[in.Src1] * e.regs[in.Src2]
+		case isa.MulI:
+			e.regs[in.Dst] = e.regs[in.Src1] * in.Imm
+		case isa.Div:
+			e.regs[in.Dst] = SafeDiv(e.regs[in.Src1], e.regs[in.Src2])
+		case isa.Sqrt:
+			e.regs[in.Dst] = ISqrt(e.regs[in.Src1])
+		case isa.Load:
+			addr := e.regs[in.Src1] + in.Imm
+			e.regs[in.Dst] = e.mem.Read64(addr)
+			if e.RecordLoads {
+				res.LoadAddrs = append(res.LoadAddrs, addr)
+			}
+		case isa.Store:
+			e.mem.Write64(e.regs[in.Src1]+in.Imm, e.regs[in.Src2])
+		case isa.RdCycle:
+			// Architecturally: a monotonic counter. The emulator has no
+			// cycles; instruction count is the closest monotone analog.
+			e.regs[in.Dst] = int64(res.InstCount)
+		case isa.Beq, isa.Bne, isa.Blt, isa.Bge:
+			taken := BranchTaken(in.Op, e.regs[in.Src1], e.regs[in.Src2])
+			if e.RecordBranches {
+				res.Branches = append(res.Branches, BranchRecord{PC: pc, Taken: taken})
+			}
+			if taken {
+				next = in.Target
+			}
+		case isa.Jmp:
+			next = in.Target
+		default:
+			return nil, fmt.Errorf("emu: unimplemented opcode %s at pc %d", in.Op, pc)
+		}
+		pc = next
+	}
+	res.Regs = e.regs
+	return res, fmt.Errorf("emu: step limit %d exceeded", max)
+}
+
+// BranchTaken evaluates a conditional branch condition. Shared with the
+// out-of-order core so both machines agree on semantics.
+func BranchTaken(op isa.Op, a, b int64) bool {
+	switch op {
+	case isa.Beq:
+		return a == b
+	case isa.Bne:
+		return a != b
+	case isa.Blt:
+		return a < b
+	case isa.Bge:
+		return a >= b
+	default:
+		panic(fmt.Sprintf("emu: %s is not a conditional branch", op))
+	}
+}
+
+// SafeDiv is the ISA's division: x/y with y==0 yielding 0 (no faults in
+// this machine; Meltdown-style exception speculation is out of scope).
+func SafeDiv(x, y int64) int64 {
+	if y == 0 {
+		return 0
+	}
+	return x / y
+}
+
+// ISqrt is the ISA's integer square root of |x|.
+func ISqrt(x int64) int64 {
+	if x < 0 {
+		x = -x
+	}
+	if x < 2 {
+		return x
+	}
+	// Newton's method on integers.
+	r := int64(1) << ((bits64(x) + 1) / 2)
+	for {
+		nr := (r + x/r) / 2
+		if nr >= r {
+			return r
+		}
+		r = nr
+	}
+}
+
+func bits64(x int64) uint {
+	n := uint(0)
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,258 @@
+package emu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specinterference/internal/asm"
+	"specinterference/internal/isa"
+	"specinterference/internal/mem"
+)
+
+func run(t *testing.T, src string, setup func(*Machine, *mem.Memory)) *Result {
+	t.Helper()
+	p := asm.MustAssemble(src)
+	m := mem.New()
+	e := New(p, m)
+	if setup != nil {
+		setup(e, m)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `
+    movi r1, 6
+    movi r2, 7
+    mul  r3, r1, r2
+    addi r4, r3, -2
+    sub  r5, r4, r1
+    div  r6, r3, r2
+    sqrt r7, r3
+    shli r8, r1, 4
+    shri r9, r8, 2
+    and  r10, r8, r9
+    or   r11, r8, r9
+    xor  r12, r8, r8
+    halt`, nil)
+	want := map[isa.Reg]int64{
+		isa.R3: 42, isa.R4: 40, isa.R5: 34, isa.R6: 6, isa.R7: 6,
+		isa.R8: 96, isa.R9: 24, isa.R10: 96 & 24, isa.R11: 96 | 24, isa.R12: 0,
+	}
+	for r, v := range want {
+		if res.Regs[r] != v {
+			t.Errorf("%s = %d, want %d", r, res.Regs[r], v)
+		}
+	}
+	if !res.Halted {
+		t.Error("should have halted")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	res := run(t, `
+    movi r1, 4096
+    movi r2, 99
+    store r2, 16(r1)
+    load r3, 16(r1)
+    halt`, nil)
+	if res.Regs[isa.R3] != 99 {
+		t.Errorf("r3 = %d, want 99", res.Regs[isa.R3])
+	}
+}
+
+func TestLoop(t *testing.T) {
+	res := run(t, `
+    movi r1, 0
+    movi r2, 10
+loop:
+    addi r1, r1, 3
+    addi r3, r3, 1
+    blt  r3, r2, loop
+    halt`, nil)
+	if res.Regs[isa.R1] != 30 {
+		t.Errorf("r1 = %d, want 30", res.Regs[isa.R1])
+	}
+}
+
+func TestBranchRecording(t *testing.T) {
+	p := asm.MustAssemble(`
+    movi r1, 0
+    movi r2, 3
+loop:
+    addi r1, r1, 1
+    blt  r1, r2, loop
+    halt`)
+	e := New(p, mem.New())
+	e.RecordBranches = true
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Branches) != 3 {
+		t.Fatalf("branches = %d, want 3", len(res.Branches))
+	}
+	if !res.Branches[0].Taken || !res.Branches[1].Taken || res.Branches[2].Taken {
+		t.Errorf("branch pattern = %+v, want taken,taken,not-taken", res.Branches)
+	}
+	if res.Branches[0].PC != 3 {
+		t.Errorf("branch PC = %d, want 3", res.Branches[0].PC)
+	}
+}
+
+func TestLoadRecording(t *testing.T) {
+	p := asm.MustAssemble(`
+    movi r1, 1024
+    load r2, 0(r1)
+    load r3, 64(r1)
+    halt`)
+	e := New(p, mem.New())
+	e.RecordLoads = true
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LoadAddrs) != 2 || res.LoadAddrs[0] != 1024 || res.LoadAddrs[1] != 1088 {
+		t.Errorf("LoadAddrs = %v", res.LoadAddrs)
+	}
+}
+
+func TestInitialRegisters(t *testing.T) {
+	p := asm.MustAssemble("addi r2, r1, 1\nhalt")
+	e := New(p, mem.New())
+	e.SetReg(isa.R1, 41)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[isa.R2] != 42 {
+		t.Errorf("r2 = %d", res.Regs[isa.R2])
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := asm.MustAssemble("spin: jmp spin\nhalt")
+	e := New(p, mem.New())
+	e.MaxSteps = 100
+	res, err := e.Run()
+	if err == nil {
+		t.Error("expected step-limit error")
+	}
+	if res.Halted {
+		t.Error("should not report halted")
+	}
+	if res.InstCount != 100 {
+		t.Errorf("InstCount = %d, want 100", res.InstCount)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	res := run(t, "movi r1, 5\nmovi r2, 0\ndiv r3, r1, r2\nhalt", nil)
+	if res.Regs[isa.R3] != 0 {
+		t.Errorf("div by zero = %d, want 0", res.Regs[isa.R3])
+	}
+}
+
+func TestRdCycleMonotone(t *testing.T) {
+	res := run(t, "rdcycle r1\nnop\nnop\nrdcycle r2\nhalt", nil)
+	if res.Regs[isa.R2] <= res.Regs[isa.R1] {
+		t.Errorf("rdcycle not monotone: %d then %d", res.Regs[isa.R1], res.Regs[isa.R2])
+	}
+}
+
+func TestFlushAndFenceAreArchitecturalNops(t *testing.T) {
+	res := run(t, `
+    movi r1, 2048
+    movi r2, 5
+    store r2, 0(r1)
+    fence
+    flush 0(r1)
+    load r3, 0(r1)
+    halt`, nil)
+	if res.Regs[isa.R3] != 5 {
+		t.Errorf("r3 = %d, want 5", res.Regs[isa.R3])
+	}
+}
+
+func TestISqrt(t *testing.T) {
+	cases := map[int64]int64{0: 0, 1: 1, 2: 1, 3: 1, 4: 2, 8: 2, 9: 3,
+		15: 3, 16: 4, 1 << 40: 1 << 20, -9: 3}
+	for x, want := range cases {
+		if got := ISqrt(x); got != want {
+			t.Errorf("ISqrt(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestISqrtProperty(t *testing.T) {
+	f := func(xRaw int32) bool {
+		x := int64(xRaw)
+		r := ISqrt(x)
+		ax := x
+		if ax < 0 {
+			ax = -ax
+		}
+		return r >= 0 && r*r <= ax && (r+1)*(r+1) > ax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestISqrtMatchesFloat(t *testing.T) {
+	for x := int64(0); x < 10000; x += 7 {
+		if got, want := ISqrt(x), int64(math.Sqrt(float64(x))); got != want {
+			t.Fatalf("ISqrt(%d) = %d, float says %d", x, got, want)
+		}
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b int64
+		want bool
+	}{
+		{isa.Beq, 1, 1, true}, {isa.Beq, 1, 2, false},
+		{isa.Bne, 1, 2, true}, {isa.Bne, 2, 2, false},
+		{isa.Blt, -1, 0, true}, {isa.Blt, 0, 0, false},
+		{isa.Bge, 0, 0, true}, {isa.Bge, -1, 0, false},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a, c.b); got != c.want {
+			t.Errorf("BranchTaken(%s, %d, %d) = %v", c.op, c.a, c.b, c.want)
+		}
+	}
+}
+
+func TestBranchTakenPanicsOnNonBranch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BranchTaken(isa.Add, 0, 0)
+}
+
+func TestPointerChase(t *testing.T) {
+	// Build a 4-node linked list in memory: 0x1000 -> 0x2000 -> 0x3000 -> 0.
+	res := run(t, `
+    movi r1, 4096
+chase:
+    load r1, 0(r1)
+    bne  r1, r0, chase
+    addi r2, r2, 1
+    halt`, func(e *Machine, m *mem.Memory) {
+		m.Write64(0x1000, 0x2000)
+		m.Write64(0x2000, 0x3000)
+		m.Write64(0x3000, 0)
+	})
+	if res.Regs[isa.R2] != 1 {
+		t.Errorf("r2 = %d", res.Regs[isa.R2])
+	}
+}

@@ -1,0 +1,88 @@
+// Package mem provides the flat physical memory shared by all cores and the
+// address-arithmetic helpers (cache-line, set and LLC-slice extraction) used
+// throughout the simulator.
+package mem
+
+import "fmt"
+
+// LineBytes is the cache line size used by every cache level.
+const LineBytes = 64
+
+// LineShift is log2(LineBytes).
+const LineShift = 6
+
+// Memory is a sparse, word-granular physical memory. Addresses are byte
+// addresses; reads and writes operate on naturally-aligned 8-byte words
+// (unaligned accesses are truncated to their containing word, which is all
+// the ISA needs). Unwritten memory reads as zero.
+type Memory struct {
+	words map[int64]int64
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{words: make(map[int64]int64)}
+}
+
+// wordAddr truncates a byte address to its containing 8-byte word.
+func wordAddr(addr int64) int64 { return addr &^ 7 }
+
+// Read64 returns the word containing addr.
+func (m *Memory) Read64(addr int64) int64 {
+	return m.words[wordAddr(addr)]
+}
+
+// Write64 stores v into the word containing addr.
+func (m *Memory) Write64(addr int64, v int64) {
+	m.words[wordAddr(addr)] = v
+}
+
+// Footprint returns the number of distinct words ever written.
+func (m *Memory) Footprint() int { return len(m.words) }
+
+// Clone returns a deep copy; used by differential tests that need to run the
+// same initial state through two machines.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for a, v := range m.words {
+		c.words[a] = v
+	}
+	return c
+}
+
+// LineAddr returns the address of the cache line containing addr.
+func LineAddr(addr int64) int64 { return addr &^ (LineBytes - 1) }
+
+// LineOf returns the line number (address / LineBytes).
+func LineOf(addr int64) int64 { return addr >> LineShift }
+
+// SameLine reports whether two addresses share a cache line.
+func SameLine(a, b int64) bool { return LineAddr(a) == LineAddr(b) }
+
+// SetIndex extracts the set index for a cache with numSets sets (must be a
+// power of two) from the line number.
+func SetIndex(addr int64, numSets int) int {
+	if numSets&(numSets-1) != 0 || numSets <= 0 {
+		panic(fmt.Sprintf("mem: numSets %d is not a positive power of two", numSets))
+	}
+	return int(LineOf(addr) & int64(numSets-1))
+}
+
+// SliceIndex computes the LLC slice for an address by XOR-folding the line
+// number, mimicking (not matching) Intel's undocumented slice hash: it
+// spreads consecutive lines across slices while remaining deterministic and
+// invertible enough for eviction-set construction from known geometry.
+func SliceIndex(addr int64, numSlices int) int {
+	if numSlices <= 0 {
+		panic(fmt.Sprintf("mem: numSlices %d must be positive", numSlices))
+	}
+	if numSlices == 1 {
+		return 0
+	}
+	if numSlices&(numSlices-1) != 0 {
+		panic(fmt.Sprintf("mem: numSlices %d is not a power of two", numSlices))
+	}
+	line := uint64(LineOf(addr))
+	h := line ^ (line >> 7) ^ (line >> 13) ^ (line >> 21)
+	return int(h & uint64(numSlices-1))
+}

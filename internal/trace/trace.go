@@ -1,0 +1,204 @@
+// Package trace collects per-instruction pipeline records and renders them
+// as ASCII timelines — the textual analog of the paper's attack timeline
+// figures (3b, 4b, 5b) and of pipeline viewers like Konata.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"specinterference/internal/uarch"
+)
+
+// Recorder implements uarch.TraceHook and accumulates records.
+type Recorder struct {
+	records []uarch.InstRecord
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record implements uarch.TraceHook.
+func (r *Recorder) Record(_ int, rec uarch.InstRecord) {
+	r.records = append(r.records, rec)
+}
+
+// Records returns everything recorded, ordered by sequence number.
+func (r *Recorder) Records() []uarch.InstRecord {
+	out := append([]uarch.InstRecord(nil), r.records...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() { r.records = r.records[:0] }
+
+// Options controls timeline rendering.
+type Options struct {
+	// From and To bound the rendered cycle window; To == 0 means "until
+	// the last retirement".
+	From, To int64
+	// CyclesPerChar compresses the horizontal axis (default 2).
+	CyclesPerChar int64
+	// ShowSquashed includes squashed (wrong-path) instructions.
+	ShowSquashed bool
+	// MaxRows caps the number of rendered instructions (0 = no cap).
+	MaxRows int
+}
+
+// stage markers used in the timeline:
+//
+//	F fetch   D dispatch   i issue   E executing   C complete   R retire
+//	x squashed instruction (whole row rendered dimly with x markers)
+const markers = "FDiECR"
+
+// Render draws one row per instruction. Each row shows the instruction and
+// its lifetime: F(etch), D(ispatch), i(ssue), C(omplete), R(etire), with
+// '=' filling issue→complete and '.' filling other in-flight gaps.
+func Render(records []uarch.InstRecord, opt Options) string {
+	if opt.CyclesPerChar <= 0 {
+		opt.CyclesPerChar = 2
+	}
+	if len(records) == 0 {
+		return "(no records)\n"
+	}
+	recs := append([]uarch.InstRecord(nil), records...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+
+	from, to := opt.From, opt.To
+	if to == 0 {
+		for _, r := range recs {
+			if r.Retire > to {
+				to = r.Retire
+			}
+			if r.Complete > to {
+				to = r.Complete
+			}
+		}
+	}
+	if to <= from {
+		to = from + 1
+	}
+	width := int((to-from)/opt.CyclesPerChar) + 1
+	if width > 400 {
+		width = 400
+	}
+	col := func(cyc int64) int {
+		c := int((cyc - from) / opt.CyclesPerChar)
+		if c < 0 {
+			return 0
+		}
+		if c >= width {
+			return width - 1
+		}
+		return c
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles %d..%d, %d cycle(s)/column\n", from, to, opt.CyclesPerChar)
+	rows := 0
+	for _, r := range recs {
+		if r.Squashed && !opt.ShowSquashed {
+			continue
+		}
+		last := r.Retire
+		if last < 0 {
+			last = r.Complete
+		}
+		if last < from && r.Fetch < from {
+			continue
+		}
+		if r.Fetch > to {
+			continue
+		}
+		if opt.MaxRows > 0 && rows >= opt.MaxRows {
+			fmt.Fprintf(&b, "... (%d more rows)\n", len(recs)-rows)
+			break
+		}
+		rows++
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		span := func(a, z int64, fill byte) {
+			if a < 0 || z < 0 {
+				return
+			}
+			for i := col(a); i <= col(z); i++ {
+				line[i] = fill
+			}
+		}
+		mark := func(cyc int64, m byte) {
+			if cyc >= 0 {
+				line[col(cyc)] = m
+			}
+		}
+		span(r.Fetch, lastOf(r), '.')
+		if r.Issue >= 0 && r.Complete >= 0 {
+			span(r.Issue, r.Complete, '=')
+		}
+		mark(r.Fetch, 'F')
+		mark(r.Dispatch, 'D')
+		mark(r.Issue, 'i')
+		mark(r.Complete, 'C')
+		mark(r.Retire, 'R')
+		if r.Squashed {
+			for i := range line {
+				if line[i] == '.' || line[i] == '=' {
+					line[i] = 'x'
+				}
+			}
+		}
+		tag := " "
+		if r.Squashed {
+			tag = "x"
+		}
+		fmt.Fprintf(&b, "%5d %s %-24s |%s|\n", r.Seq, tag, truncate(r.Inst.String(), 24), string(line))
+	}
+	return b.String()
+}
+
+func lastOf(r uarch.InstRecord) int64 {
+	last := r.Fetch
+	for _, c := range []int64{r.Dispatch, r.Issue, r.Complete, r.Retire} {
+		if c > last {
+			last = c
+		}
+	}
+	return last
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// Legend explains the timeline markers.
+func Legend() string {
+	return "F fetch  D dispatch  i issue  = executing  C complete  R retire  x squashed\n"
+}
+
+// Summary renders per-instruction latency statistics of a record set.
+func Summary(records []uarch.InstRecord) string {
+	var retired, squashed int
+	var totLat int64
+	for _, r := range records {
+		if r.Squashed {
+			squashed++
+			continue
+		}
+		retired++
+		if r.Retire >= 0 && r.Fetch >= 0 {
+			totLat += r.Retire - r.Fetch
+		}
+	}
+	avg := 0.0
+	if retired > 0 {
+		avg = float64(totLat) / float64(retired)
+	}
+	return fmt.Sprintf("retired %d, squashed %d, mean fetch-to-retire %.1f cycles\n",
+		retired, squashed, avg)
+}

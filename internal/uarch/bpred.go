@@ -1,0 +1,69 @@
+package uarch
+
+// BranchPred is a bimodal direction predictor: a table of 2-bit saturating
+// counters indexed by PC. It is intentionally mistrainable — the paper's
+// PoCs train the victim branch in one direction before triggering it in the
+// other (§4.1), and the attack harness in internal/core does exactly the
+// same thing against this predictor.
+type BranchPred struct {
+	table []uint8
+	mask  int
+
+	lookups    uint64
+	mispredict uint64
+}
+
+// NewBranchPred returns a predictor with entries counters (power of two).
+// Counters start at 1 (weakly not-taken).
+func NewBranchPred(entries int) *BranchPred {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("uarch: predictor entries must be a positive power of two")
+	}
+	t := make([]uint8, entries)
+	for i := range t {
+		t[i] = 1
+	}
+	return &BranchPred{table: t, mask: entries - 1}
+}
+
+func (b *BranchPred) idx(pc int) int { return pc & b.mask }
+
+// Predict returns the predicted direction for the branch at pc.
+func (b *BranchPred) Predict(pc int) bool {
+	b.lookups++
+	return b.table[b.idx(pc)] >= 2
+}
+
+// Update trains the counter at pc with the resolved direction and records
+// whether the earlier prediction was wrong.
+func (b *BranchPred) Update(pc int, taken, wasMispredicted bool) {
+	i := b.idx(pc)
+	if taken {
+		if b.table[i] < 3 {
+			b.table[i]++
+		}
+	} else if b.table[i] > 0 {
+		b.table[i]--
+	}
+	if wasMispredicted {
+		b.mispredict++
+	}
+}
+
+// Train repeatedly pushes the counter for pc toward the given direction —
+// the harness-visible analog of the PoCs' mistraining loops.
+func (b *BranchPred) Train(pc int, taken bool, times int) {
+	for i := 0; i < times; i++ {
+		b.Update(pc, taken, false)
+	}
+}
+
+// Reset returns all counters to weakly not-taken.
+func (b *BranchPred) Reset() {
+	for i := range b.table {
+		b.table[i] = 1
+	}
+}
+
+// Stats returns (lookups, mispredictions).
+func (b *BranchPred) Stats() (uint64, uint64) { return b.lookups, b.mispredict }

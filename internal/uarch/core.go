@@ -1,0 +1,995 @@
+package uarch
+
+import (
+	"fmt"
+
+	"specinterference/internal/cache"
+	"specinterference/internal/emu"
+	"specinterference/internal/isa"
+	"specinterference/internal/mem"
+)
+
+// stalledBranch is the predNext sentinel for conditional branches fetched
+// in StallFetchInShadow mode: fetch stopped at the branch instead of
+// predicting, and resumes via a redirect when the branch resolves.
+const stalledBranch = -1
+
+// memState tracks a load's progress through the load/store unit.
+type memState int
+
+const (
+	memNone    memState = iota
+	memRetry            // issued; waiting to (re)attempt the cache access
+	memWalking          // access in flight; data arrives at memReadyAt
+	memDelayed          // parked by an ActDelay policy decision
+	memDone             // data obtained
+)
+
+// entry is one in-flight dynamic instruction (a ROB entry).
+type entry struct {
+	seq   int64
+	pc    int
+	inst  isa.Inst
+	class isa.Class
+
+	// renamed operands: srcTag[k] is the producer's seq or -1 when srcVal[k]
+	// holds the value.
+	nsrc   int
+	srcTag [2]int64
+	srcVal [2]int64
+
+	fetchCycle    int64
+	dispCycle     int64
+	issued        bool
+	issueCycle    int64
+	execDoneAt    int64
+	completed     bool
+	completeCycle int64
+	destVal       int64
+	inRS          bool
+	port          int
+	robIdx        int // refreshed every cycle by the prefix pass
+
+	// branches
+	predTaken  bool
+	predNext   int
+	actualNext int
+
+	// invisibleFetch: see fetched.invisibleFetch.
+	invisibleFetch bool
+
+	// memory
+	addrKnown bool
+	addr      int64
+	mstate    memState
+	memReady  int64
+	invisible bool
+	wasL1Hit  bool
+	exposed   bool
+	forwarded bool
+	level     cache.Level
+}
+
+func (e *entry) isLoad() bool  { return e.inst.Op == isa.Load }
+func (e *entry) isStore() bool { return e.inst.Op == isa.Store }
+func (e *entry) isFlush() bool { return e.inst.Op == isa.Flush }
+
+// srcsReady reports whether all renamed operands have values.
+func (e *entry) srcsReady() bool {
+	for k := 0; k < e.nsrc; k++ {
+		if e.srcTag[k] != -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// fetched is a decoded instruction waiting in the fetch buffer.
+type fetched struct {
+	pc         int
+	inst       isa.Inst
+	predTaken  bool
+	predNext   int
+	fetchCycle int64
+	// invisibleFetch marks instructions whose line was fetched invisibly
+	// (IFetchInvisible shadow structures); the line is exposed when the
+	// instruction retires, modelling the shadow-I-structure commit.
+	invisibleFetch bool
+}
+
+// prefix holds the per-cycle prefix scans over the ROB used for O(1)
+// shadow/safety queries. prefix[i] answers "does any entry OLDER than ROB
+// index i satisfy the predicate".
+type prefix struct {
+	unresolvedCB     []bool
+	incomplete       []bool
+	incompleteLoad   []bool
+	fence            []bool
+	storeAddrUnknown []bool
+}
+
+// Core is one out-of-order core.
+type Core struct {
+	id  int
+	sys *System
+	cfg *Config
+
+	prog   *isa.Program
+	policy SpecPolicy
+
+	archRegs [isa.NumRegs]int64
+	// regMap maps an architectural register to the seq of its latest
+	// in-flight producer, or -1 when the value is architectural.
+	regMap [isa.NumRegs]int64
+
+	rob  []*entry
+	live map[int64]*entry
+	rs   []*entry
+	// memOrder lists in-flight loads and stores in program order.
+	memOrder []*entry
+
+	executing []*entry // issued, completion scheduled at execDoneAt
+	wbQueue   []*entry // execution done, waiting for a CDB slot
+
+	euFreeAt []int64
+	euBusy   []*entry // entry occupying a non-pipelined unit, else nil
+
+	bp        *BranchPred
+	oracle    []bool
+	oracleIdx int
+	nextSeq   int64
+
+	fetchPC      int
+	fetchOn      bool
+	fetchBuf     []fetched
+	lastIFLine   int64
+	lastIFInvis  bool
+	ifPending    bool
+	ifReadyAt    int64
+	redirectPend bool
+	redirectAt   int64
+	redirectPC   int
+
+	pref   prefix
+	halted bool
+	paused bool
+
+	stats CoreStats
+	hook  TraceHook
+}
+
+func newCore(id int, sys *System) *Core {
+	c := &Core{
+		id:     id,
+		sys:    sys,
+		cfg:    &sys.cfg,
+		policy: Unprotected{},
+		bp:     NewBranchPred(sys.cfg.BPEntries),
+		halted: true,
+		live:   map[int64]*entry{},
+	}
+	c.euFreeAt = make([]int64, len(sys.cfg.Ports))
+	c.euBusy = make([]*entry, len(sys.cfg.Ports))
+	for i := range c.regMap {
+		c.regMap[i] = -1
+	}
+	return c
+}
+
+// ID returns the core id.
+func (c *Core) ID() int { return c.id }
+
+// Stats returns a copy of the core's counters.
+func (c *Core) Stats() CoreStats { return c.stats }
+
+// Policy returns the attached speculation policy.
+func (c *Core) Policy() SpecPolicy { return c.policy }
+
+// Halted reports whether the core has retired a halt (or has no program).
+func (c *Core) Halted() bool { return c.halted }
+
+// Reg returns the architectural value of r (valid once halted).
+func (c *Core) Reg(r isa.Reg) int64 { return c.archRegs[r] }
+
+// SetReg sets an architectural register before a run.
+func (c *Core) SetReg(r isa.Reg, v int64) { c.archRegs[r] = v }
+
+// SetTraceHook installs h (nil disables tracing).
+func (c *Core) SetTraceHook(h TraceHook) { c.hook = h }
+
+// Predictor exposes the branch predictor (mistraining, tests).
+func (c *Core) Predictor() *BranchPred { return c.bp }
+
+// SetBranchOracle supplies the dynamic conditional-branch outcome sequence
+// consumed in fetch order instead of the predictor — the "NoSpec(E)"
+// execution of §5.1 is this machine with a perfect oracle. Call after
+// LoadProgram (which clears any oracle).
+func (c *Core) SetBranchOracle(outcomes []bool) {
+	c.oracle = outcomes
+	c.oracleIdx = 0
+}
+
+// LoadProgram resets the core's pipeline and attaches prog under policy.
+// Architectural registers, the branch predictor and all cache state are
+// preserved across loads — exactly what a multi-trial attack needs.
+func (c *Core) LoadProgram(prog *isa.Program, policy SpecPolicy) error {
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+	if policy == nil {
+		policy = Unprotected{}
+	}
+	c.prog = prog
+	c.policy = policy
+	c.rob = nil
+	c.live = map[int64]*entry{}
+	c.rs = nil
+	c.memOrder = nil
+	c.executing = nil
+	c.wbQueue = nil
+	for i := range c.euFreeAt {
+		c.euFreeAt[i] = 0
+		c.euBusy[i] = nil
+	}
+	for i := range c.regMap {
+		c.regMap[i] = -1
+	}
+	c.fetchPC = 0
+	c.fetchOn = true
+	c.fetchBuf = nil
+	c.lastIFLine = -1
+	c.ifPending = false
+	c.redirectPend = false
+	c.halted = false
+	c.oracle = nil
+	c.oracleIdx = 0
+	c.stats = CoreStats{}
+	return nil
+}
+
+// LoadProgram loads prog on core with policy (System-level convenience).
+func (s *System) LoadProgram(core int, prog *isa.Program, policy SpecPolicy) error {
+	return s.cores[core].LoadProgram(prog, policy)
+}
+
+// ---------------------------------------------------------------------------
+// per-cycle pipeline
+
+// SetPaused freezes or thaws the core (multi-phase attack harnesses hold
+// the victim while the attacker primes, and vice versa).
+func (c *Core) SetPaused(p bool) { c.paused = p }
+
+func (c *Core) tick(cycle int64) {
+	if c.halted || c.paused {
+		return
+	}
+	c.stats.Cycles++
+	c.computePrefix()
+	c.releaseRS()
+	c.lsuTick(cycle)
+	c.issue(cycle)
+	c.writeback(cycle)
+	c.retire(cycle)
+	c.dispatch(cycle)
+	c.fetch(cycle)
+}
+
+// computePrefix refreshes the O(1) shadow/safety query arrays.
+func (c *Core) computePrefix() {
+	n := len(c.rob)
+	p := &c.pref
+	grow := func(s []bool) []bool {
+		if cap(s) < n+1 {
+			return make([]bool, n+1)
+		}
+		return s[:n+1]
+	}
+	p.unresolvedCB = grow(p.unresolvedCB)
+	p.incomplete = grow(p.incomplete)
+	p.incompleteLoad = grow(p.incompleteLoad)
+	p.fence = grow(p.fence)
+	p.storeAddrUnknown = grow(p.storeAddrUnknown)
+	ucb, inc, incL, fen, sau := false, false, false, false, false
+	for i, e := range c.rob {
+		e.robIdx = i
+		p.unresolvedCB[i] = ucb
+		p.incomplete[i] = inc
+		p.incompleteLoad[i] = incL
+		p.fence[i] = fen
+		p.storeAddrUnknown[i] = sau
+		if e.inst.IsCondBranch() && !e.completed {
+			ucb = true
+		}
+		if !e.completed {
+			inc = true
+		}
+		if e.isLoad() && !e.completed {
+			incL = true
+		}
+		if e.inst.Op == isa.Fence {
+			fen = true
+		}
+		if e.isStore() && !e.addrKnown {
+			sau = true
+		}
+	}
+	p.unresolvedCB[n] = ucb
+	p.incomplete[n] = inc
+	p.incompleteLoad[n] = incL
+	p.fence[n] = fen
+	p.storeAddrUnknown[n] = sau
+}
+
+// safe reports whether e is non-speculative under model, using the prefix
+// arrays computed this cycle.
+func (c *Core) safe(e *entry, model ShadowModel) bool {
+	switch model {
+	case ShadowSpectre:
+		return !c.pref.unresolvedCB[e.robIdx]
+	case ShadowSpectreTSO:
+		return !c.pref.unresolvedCB[e.robIdx] && !c.pref.incompleteLoad[e.robIdx]
+	case ShadowFuturistic:
+		return !c.pref.incomplete[e.robIdx]
+	default:
+		panic(fmt.Sprintf("uarch: unknown shadow model %d", model))
+	}
+}
+
+// releaseRS frees reservation stations. Normally an RS entry frees at
+// issue; under HoldRSUntilSafe (advanced defense rule 1) it frees only once
+// the instruction is safe.
+func (c *Core) releaseRS() {
+	if !c.cfg.HoldRSUntilSafe {
+		return
+	}
+	kept := c.rs[:0]
+	for _, e := range c.rs {
+		if e.issued && c.safe(e, c.policy.Shadow()) {
+			e.inRS = false
+			continue
+		}
+		kept = append(kept, e)
+	}
+	c.rs = kept
+}
+
+// ---------------------------------------------------------------------------
+// issue
+
+// candidateReady reports whether e can issue this cycle (operands, gates).
+func (c *Core) candidateReady(e *entry, cycle int64) bool {
+	if e.issued || !e.srcsReady() {
+		return false
+	}
+	// lfence semantics: nothing younger than an unretired fence issues.
+	if c.pref.fence[e.robIdx] {
+		return false
+	}
+	// Fence-defense gate.
+	if !c.policy.CanIssue(c.safe(e, c.policy.Shadow())) {
+		c.stats.IssueGateStalls++
+		return false
+	}
+	// Loads wait until every older store address is known (conservative
+	// disambiguation: this machine never replays on memory ordering).
+	if e.isLoad() && c.pref.storeAddrUnknown[e.robIdx] {
+		return false
+	}
+	return true
+}
+
+func (c *Core) issue(cycle int64) {
+	for p := range c.cfg.Ports {
+		port := &c.cfg.Ports[p]
+		var best *entry
+		for _, e := range c.rs {
+			if e.issued || !port.serves(e.class) {
+				continue
+			}
+			if !c.candidateReady(e, cycle) {
+				continue
+			}
+			if best == nil {
+				best = e
+				continue
+			}
+			if c.cfg.YoungestFirstIssue {
+				if e.seq > best.seq {
+					best = e
+				}
+			} else if e.seq < best.seq {
+				best = e
+			}
+		}
+		if best == nil {
+			continue
+		}
+		if cycle < c.euFreeAt[p] {
+			// Unit busy. Advanced-defense rule 2: an older instruction may
+			// preempt a younger one on a non-pipelined ("squashable") unit.
+			busy := c.euBusy[p]
+			// Preemption requires the victim to still hold its RS entry,
+			// otherwise it could never re-issue.
+			if c.cfg.AgePriorityArb && c.cfg.HoldRSUntilSafe && busy != nil &&
+				busy.inRS && busy.seq > best.seq && !busy.completed {
+				c.preempt(p, busy)
+			} else {
+				continue
+			}
+		}
+		c.issueTo(p, best, cycle)
+	}
+}
+
+// preempt cancels busy's execution on port p and returns it to the ready
+// pool (it still holds its RS entry under HoldRSUntilSafe).
+func (c *Core) preempt(p int, busy *entry) {
+	busy.issued = false
+	busy.execDoneAt = 0
+	kept := c.executing[:0]
+	for _, x := range c.executing {
+		if x != busy {
+			kept = append(kept, x)
+		}
+	}
+	c.executing = kept
+	c.euFreeAt[p] = 0
+	c.euBusy[p] = nil
+}
+
+func (c *Core) issueTo(p int, e *entry, cycle int64) {
+	e.issued = true
+	e.issueCycle = cycle
+	e.port = p
+	lat := int64(isa.ClassLatency(e.class))
+	switch {
+	case e.isLoad():
+		// One cycle of AGU/port occupancy; the LSU walks the hierarchy from
+		// the next cycle on.
+		e.addr = e.srcVal[0] + e.inst.Imm
+		e.addrKnown = true
+		e.mstate = memRetry
+		c.euFreeAt[p] = cycle + 1
+	case e.isFlush():
+		// Address generation only: the eviction applies at retire, so a
+		// squashed flush has no effect (clflush is not transient; like on
+		// x86 it must be fenced before a reload can be expected to miss).
+		e.addr = e.srcVal[0] + e.inst.Imm
+		e.addrKnown = true
+		e.execDoneAt = cycle + 1
+		c.executing = append(c.executing, e)
+		c.euFreeAt[p] = cycle + 1
+	case e.isStore():
+		// Address was computed at wakeup; data travels with the entry and
+		// is written at retire.
+		e.execDoneAt = cycle + 1
+		c.executing = append(c.executing, e)
+		c.euFreeAt[p] = cycle + 1
+	case e.inst.IsCondBranch():
+		taken := emu.BranchTaken(e.inst.Op, e.srcVal[0], e.srcVal[1])
+		if taken {
+			e.actualNext = e.inst.Target
+		} else {
+			e.actualNext = e.pc + 1
+		}
+		e.execDoneAt = cycle + lat
+		c.executing = append(c.executing, e)
+		c.euFreeAt[p] = cycle + 1
+	case e.inst.Op == isa.Jmp:
+		e.actualNext = e.inst.Target
+		e.execDoneAt = cycle + lat
+		c.executing = append(c.executing, e)
+		c.euFreeAt[p] = cycle + 1
+	default:
+		e.destVal = c.compute(e, cycle)
+		e.execDoneAt = cycle + lat
+		c.executing = append(c.executing, e)
+		if isa.Pipelined(e.class) {
+			c.euFreeAt[p] = cycle + 1
+		} else {
+			c.euFreeAt[p] = cycle + lat
+			c.euBusy[p] = e
+		}
+	}
+	if !c.cfg.HoldRSUntilSafe {
+		c.removeRS(e)
+	}
+}
+
+func (c *Core) removeRS(e *entry) {
+	e.inRS = false
+	for i, x := range c.rs {
+		if x == e {
+			c.rs = append(c.rs[:i], c.rs[i+1:]...)
+			return
+		}
+	}
+}
+
+// compute evaluates a register-writing non-memory instruction.
+func (c *Core) compute(e *entry, cycle int64) int64 {
+	a, b := e.srcVal[0], e.srcVal[1]
+	in := e.inst
+	switch in.Op {
+	case isa.MovI:
+		return in.Imm
+	case isa.Mov:
+		return a
+	case isa.Add:
+		return a + b
+	case isa.AddI:
+		return a + in.Imm
+	case isa.Sub:
+		return a - b
+	case isa.And:
+		return a & b
+	case isa.Or:
+		return a | b
+	case isa.Xor:
+		return a ^ b
+	case isa.ShlI:
+		return a << uint(in.Imm&63)
+	case isa.ShrI:
+		return int64(uint64(a) >> uint(in.Imm&63))
+	case isa.Mul:
+		return a * b
+	case isa.MulI:
+		return a * in.Imm
+	case isa.Div:
+		return emu.SafeDiv(a, b)
+	case isa.Sqrt:
+		return emu.ISqrt(a)
+	case isa.RdCycle:
+		return cycle
+	default:
+		panic(fmt.Sprintf("uarch: compute called for %s", in.Op))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// writeback
+
+func (c *Core) writeback(cycle int64) {
+	// Move finished executions into the CDB queue.
+	kept := c.executing[:0]
+	for _, e := range c.executing {
+		if e.execDoneAt <= cycle {
+			c.wbQueue = append(c.wbQueue, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	c.executing = kept
+
+	// CDB arbitration: by default finish-time then age; under
+	// AgePriorityArb strictly by age (advanced defense rule 2).
+	if c.cfg.AgePriorityArb {
+		sortEntries(c.wbQueue, func(a, b *entry) bool { return a.seq < b.seq })
+	} else {
+		sortEntries(c.wbQueue, func(a, b *entry) bool {
+			if a.execDoneAt != b.execDoneAt {
+				return a.execDoneAt < b.execDoneAt
+			}
+			return a.seq < b.seq
+		})
+	}
+	n := c.cfg.CDBWidth
+	if n > len(c.wbQueue) {
+		n = len(c.wbQueue)
+	}
+	winners := c.wbQueue[:n]
+	c.stats.CDBConflicts += int64(len(c.wbQueue) - n)
+	c.wbQueue = append([]*entry(nil), c.wbQueue[n:]...)
+
+	var squashAt *entry
+	for _, e := range winners {
+		e.completed = true
+		e.completeCycle = cycle
+		if e.inst.HasDst() {
+			c.broadcast(e)
+		}
+		if e.inst.IsCondBranch() {
+			if e.predNext == stalledBranch {
+				// Ideal-defense mode: fetch waited at this branch; resume
+				// it at the resolved target. Nothing younger exists, so no
+				// squash is needed and the predictor is never consulted.
+				c.redirectPend = true
+				c.redirectAt = cycle + int64(c.cfg.RedirectPenalty)
+				c.redirectPC = e.actualNext
+			} else {
+				mispred := e.actualNext != e.predNext
+				c.bp.Update(e.pc, e.actualNext == e.inst.Target, mispred)
+				if mispred && (squashAt == nil || e.seq < squashAt.seq) {
+					squashAt = e
+				}
+			}
+		}
+		if fp, ok := c.policy.(FilterPolicy); ok && e.isLoad() && e.invisible && !e.wasL1Hit {
+			fp.OnInvisibleFill(e.addr)
+		}
+	}
+	if squashAt != nil {
+		c.squash(squashAt, cycle)
+	}
+}
+
+// broadcast delivers e's result to every waiting consumer and computes
+// store addresses whose base register just arrived.
+func (c *Core) broadcast(e *entry) {
+	for _, o := range c.rob {
+		for k := 0; k < o.nsrc; k++ {
+			if o.srcTag[k] == e.seq {
+				o.srcTag[k] = -1
+				o.srcVal[k] = e.destVal
+				if o.isStore() && k == 0 && !o.addrKnown {
+					o.addr = o.srcVal[0] + o.inst.Imm
+					o.addrKnown = true
+				}
+			}
+		}
+	}
+}
+
+func sortEntries(s []*entry, less func(a, b *entry) bool) {
+	// Insertion sort: queues are short and usually nearly sorted.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// squash
+
+func (c *Core) squash(br *entry, cycle int64) {
+	c.stats.Squashes++
+	// Flush everything younger than the branch.
+	cut := len(c.rob)
+	for i, e := range c.rob {
+		if e.seq > br.seq {
+			cut = i
+			break
+		}
+	}
+	doomed := c.rob[cut:]
+	c.rob = c.rob[:cut]
+	undo := false
+	if up, ok := c.policy.(UndoPolicy); ok {
+		undo = up.UndoSpeculativeFills()
+	}
+	for _, e := range doomed {
+		c.stats.SquashedInsts++
+		delete(c.live, e.seq)
+		if undo && e.isLoad() && !e.invisible && e.addrKnown &&
+			(e.mstate == memWalking || e.mstate == memDone) &&
+			e.level != cache.LevelL1 {
+			// CleanupSpec: invalidate the lines this squashed load filled.
+			c.sys.hier.Flush(e.addr)
+		}
+		if c.hook != nil {
+			c.hook.Record(c.id, record(e, true))
+		}
+	}
+	isDoomed := func(e *entry) bool { return e.seq > br.seq }
+	c.rs = filterEntries(c.rs, isDoomed)
+	c.memOrder = filterEntries(c.memOrder, isDoomed)
+	c.executing = filterEntries(c.executing, isDoomed)
+	c.wbQueue = filterEntries(c.wbQueue, isDoomed)
+	for p := range c.euBusy {
+		if c.euBusy[p] != nil && isDoomed(c.euBusy[p]) {
+			// The non-pipelined unit keeps grinding on the dead op until its
+			// scheduled completion (realistic: EUs are not squashable in the
+			// baseline; see §5.4 for the defense that changes this).
+			c.euBusy[p] = nil
+		}
+	}
+	// Rebuild the rename map from the surviving entries.
+	for i := range c.regMap {
+		c.regMap[i] = -1
+	}
+	for _, e := range c.rob {
+		if e.inst.HasDst() {
+			c.regMap[e.inst.Dst] = e.seq
+		}
+	}
+	// Redirect the front end.
+	c.fetchBuf = nil
+	c.ifPending = false
+	c.lastIFLine = -1
+	c.fetchOn = false
+	c.redirectPend = true
+	c.redirectAt = cycle + int64(c.cfg.RedirectPenalty)
+	c.redirectPC = br.actualNext
+	if fp, ok := c.policy.(FilterPolicy); ok {
+		fp.OnSquash()
+	}
+}
+
+func filterEntries(s []*entry, drop func(*entry) bool) []*entry {
+	kept := s[:0]
+	for _, e := range s {
+		if !drop(e) {
+			kept = append(kept, e)
+		}
+	}
+	return kept
+}
+
+// ---------------------------------------------------------------------------
+// retire
+
+func (c *Core) retire(cycle int64) {
+	for n := 0; n < c.cfg.RetireWidth && len(c.rob) > 0; n++ {
+		e := c.rob[0]
+		if !e.completed {
+			return
+		}
+		// Safety-deferred cache effects that have not fired yet must fire
+		// no later than retirement.
+		if e.isLoad() && e.invisible && !e.exposed {
+			c.exposeLoad(e, cycle)
+		}
+		if e.invisibleFetch {
+			// Shadow-I-structure commit (SafeSpec/MuonTrap): retiring an
+			// invisibly fetched instruction makes its line architectural.
+			line := mem.LineAddr(c.prog.InstAddr(e.pc))
+			if !c.sys.hier.L1I(c.id).Contains(line) {
+				c.sys.hier.AccessInst(c.id, line, true, cycle)
+			}
+		}
+		switch e.inst.Op {
+		case isa.Store:
+			c.sys.mem.Write64(e.addr, e.srcVal[1])
+			c.sys.hier.AccessData(c.id, e.addr, cache.KindDataWrite, true, cycle)
+		case isa.Flush:
+			c.sys.hier.Flush(e.addr)
+		case isa.Halt:
+			c.halted = true
+		}
+		if e.inst.HasDst() {
+			c.archRegs[e.inst.Dst] = e.destVal
+			if c.regMap[e.inst.Dst] == e.seq {
+				c.regMap[e.inst.Dst] = -1
+			}
+		}
+		e.inRS = false
+		c.rs = filterEntries(c.rs, func(x *entry) bool { return x == e })
+		c.memOrder = filterEntries(c.memOrder, func(x *entry) bool { return x == e })
+		delete(c.live, e.seq)
+		c.rob = c.rob[1:]
+		c.stats.Retired++
+		if c.hook != nil {
+			r := record(e, false)
+			r.Retire = cycle
+			c.hook.Record(c.id, r)
+		}
+		if c.halted {
+			return
+		}
+	}
+}
+
+func record(e *entry, squashed bool) InstRecord {
+	r := InstRecord{
+		Seq: e.seq, PC: e.pc, Inst: e.inst,
+		Fetch: e.fetchCycle, Dispatch: e.dispCycle,
+		Issue: -1, Complete: -1, Retire: -1,
+		Squashed: squashed, Level: e.level, Addr: e.addr,
+	}
+	if e.issued {
+		r.Issue = e.issueCycle
+	}
+	if e.completed {
+		r.Complete = e.completeCycle
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// dispatch
+
+func (c *Core) dispatch(cycle int64) {
+	for n := 0; n < c.cfg.DispatchWidth && len(c.fetchBuf) > 0; n++ {
+		if len(c.rob) >= c.cfg.ROBSize {
+			c.stats.ROBFullStallCycles++
+			return
+		}
+		f := c.fetchBuf[0]
+		needsRS := isa.OpClass(f.inst.Op) != isa.ClassNone
+		if needsRS && len(c.rs) >= c.cfg.RSSize {
+			c.stats.RSFullStallCycles++
+			return
+		}
+		c.fetchBuf = c.fetchBuf[1:]
+		e := &entry{
+			seq: c.nextSeq, pc: f.pc, inst: f.inst,
+			class:      isa.OpClass(f.inst.Op),
+			fetchCycle: f.fetchCycle, dispCycle: cycle,
+			predTaken: f.predTaken, predNext: f.predNext,
+			invisibleFetch: f.invisibleFetch,
+			level:          cache.LevelMem,
+		}
+		c.nextSeq++
+		srcs, nsrc := f.inst.Uses()
+		e.nsrc = nsrc
+		for k := 0; k < nsrc; k++ {
+			e.srcTag[k] = -1
+			if tag := c.regMap[srcs[k]]; tag == -1 {
+				e.srcVal[k] = c.archRegs[srcs[k]]
+			} else if prod, ok := c.live[tag]; ok && prod.completed {
+				e.srcVal[k] = prod.destVal
+			} else {
+				e.srcTag[k] = tag
+			}
+		}
+		if f.inst.HasDst() {
+			c.regMap[f.inst.Dst] = e.seq
+		}
+		if !needsRS {
+			// Nop/Fence/Halt complete at dispatch and retire in order.
+			e.completed = true
+			e.completeCycle = cycle
+		} else {
+			e.inRS = true
+			c.rs = append(c.rs, e)
+		}
+		if e.isStore() && e.srcTag[0] == -1 {
+			e.addr = e.srcVal[0] + e.inst.Imm
+			e.addrKnown = true
+		}
+		if e.isLoad() || e.isStore() {
+			c.memOrder = append(c.memOrder, e)
+		}
+		c.rob = append(c.rob, e)
+		c.live[e.seq] = e
+	}
+}
+
+// ---------------------------------------------------------------------------
+// fetch
+
+// fetchShadowed reports whether an unresolved squash source (per the
+// policy's shadow model) is in flight ahead of the fetch PC.
+func (c *Core) fetchShadowed() bool {
+	model := c.policy.Shadow()
+	counts := func(in isa.Inst, completed bool) bool {
+		if completed {
+			return false
+		}
+		switch model {
+		case ShadowSpectre, ShadowSpectreTSO:
+			return in.IsCondBranch()
+		default:
+			return in.IsCondBranch() || in.Op == isa.Load
+		}
+	}
+	for _, e := range c.rob {
+		if counts(e.inst, e.completed) {
+			return true
+		}
+	}
+	for _, f := range c.fetchBuf {
+		if counts(f.inst, false) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) fetch(cycle int64) {
+	if c.redirectPend && cycle >= c.redirectAt {
+		c.redirectPend = false
+		c.fetchPC = c.redirectPC
+		c.fetchOn = true
+	}
+	if !c.fetchOn {
+		c.stats.FetchStallCycles++
+		return
+	}
+	if c.policy.StallFetchInShadow() && c.fetchShadowed() {
+		c.stats.FetchStallCycles++
+		return
+	}
+	if c.ifPending {
+		if cycle < c.ifReadyAt {
+			c.stats.FetchStallCycles++
+			return
+		}
+		c.ifPending = false
+	}
+	fetchedAny := false
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchBuf) < c.cfg.FetchBufSize; n++ {
+		if c.fetchPC < 0 || c.fetchPC >= c.prog.Len() {
+			c.fetchOn = false
+			break
+		}
+		line := mem.LineAddr(c.prog.InstAddr(c.fetchPC))
+		if line != c.lastIFLine {
+			if !c.accessILine(line, cycle) {
+				break // stalled on I-cache
+			}
+		}
+		in := c.prog.Insts[c.fetchPC]
+		f := fetched{pc: c.fetchPC, inst: in, fetchCycle: cycle,
+			invisibleFetch: c.lastIFInvis}
+		c.stats.Fetched++
+		fetchedAny = true
+		switch {
+		case in.Op == isa.Halt:
+			f.predNext = c.fetchPC + 1
+			c.fetchBuf = append(c.fetchBuf, f)
+			c.fetchOn = false
+			return
+		case in.Op == isa.Jmp:
+			f.predNext = in.Target
+			c.fetchBuf = append(c.fetchBuf, f)
+			c.fetchPC = in.Target
+			return // fetch group ends at a taken control transfer
+		case in.IsCondBranch():
+			if c.policy.StallFetchInShadow() {
+				// Ideal-defense mode: never predict. Fetch stalls at the
+				// branch and resumes via a redirect when it resolves, so
+				// execution is bit-identical to its NoSpec counterpart.
+				f.predNext = stalledBranch
+				c.fetchBuf = append(c.fetchBuf, f)
+				c.fetchOn = false
+				return
+			}
+			if c.oracle != nil && c.oracleIdx < len(c.oracle) {
+				f.predTaken = c.oracle[c.oracleIdx]
+				c.oracleIdx++
+			} else {
+				f.predTaken = c.bp.Predict(c.fetchPC)
+			}
+			if f.predTaken {
+				f.predNext = in.Target
+			} else {
+				f.predNext = c.fetchPC + 1
+			}
+			c.fetchBuf = append(c.fetchBuf, f)
+			c.fetchPC = f.predNext
+			return
+		default:
+			f.predNext = c.fetchPC + 1
+			c.fetchBuf = append(c.fetchBuf, f)
+			c.fetchPC++
+		}
+	}
+	if !fetchedAny {
+		c.stats.FetchStallCycles++
+	}
+}
+
+// accessILine brings the instruction line into the frontend, returning
+// false when fetch must stall this cycle.
+func (c *Core) accessILine(line int64, cycle int64) bool {
+	h := c.sys.hier
+	mode := c.policy.IFetch()
+	shadowed := mode != IFetchVisible && c.fetchShadowed()
+	visible := true
+	if shadowed {
+		switch mode {
+		case IFetchInvisible:
+			visible = false
+		case IFetchDelay:
+			if !h.L1I(c.id).Contains(line) {
+				// Miss under shadow: stall until the shadow clears.
+				return false
+			}
+			// In-shadow hit proceeds without a replacement update.
+			c.lastIFLine = line
+			c.lastIFInvis = false
+			return true
+		}
+	}
+	resp := h.AccessInst(c.id, line, visible, cycle)
+	c.lastIFLine = line
+	c.lastIFInvis = !visible
+	if resp.Level == cache.LevelL1 {
+		return true
+	}
+	c.ifPending = true
+	c.ifReadyAt = resp.Ready
+	return false
+}

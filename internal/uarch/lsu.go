@@ -1,0 +1,173 @@
+package uarch
+
+import "specinterference/internal/cache"
+
+// lsuTick advances every in-flight load: (re)attempts cache accesses,
+// finishes walks whose data arrived, re-issues delayed loads that became
+// safe, and performs deferred exposes/touches for invisibly-completed loads.
+func (c *Core) lsuTick(cycle int64) {
+	model := c.policy.Shadow()
+	for _, e := range c.memOrder {
+		if !e.isLoad() {
+			continue
+		}
+		switch e.mstate {
+		case memRetry:
+			if e.issued {
+				c.attemptAccess(e, cycle)
+			}
+		case memDelayed:
+			if c.safe(e, model) {
+				// Delay-on-Miss re-execution: the load is non-speculative
+				// now, so it performs a normal visible access.
+				c.startWalk(e, cycle, true)
+			}
+		case memWalking:
+			if e.memReady <= cycle {
+				c.finishLoad(e, cycle)
+			}
+		case memDone:
+			if e.invisible && !e.exposed && c.safe(e, model) {
+				c.exposeLoad(e, cycle)
+			}
+		}
+	}
+}
+
+// attemptAccess runs one load's D-cache access attempt: store forwarding,
+// then the policy decision, then the hierarchy walk with MSHR allocation.
+func (c *Core) attemptAccess(e *entry, cycle int64) {
+	// Store-to-load forwarding. The issue gate guarantees every older store
+	// address is known, so this scan is exact.
+	if st := c.forwardingStore(e); st != nil {
+		if st.srcTag[1] != -1 {
+			return // store data not produced yet; retry next cycle
+		}
+		e.destVal = st.srcVal[1]
+		e.forwarded = true
+		e.level = cache.LevelL1
+		e.mstate = memWalking
+		e.memReady = cycle + 1
+		return
+	}
+
+	if c.safe(e, c.policy.Shadow()) {
+		c.startWalk(e, cycle, true)
+		return
+	}
+	l1hit := c.sys.hier.L1DHit(c.id, e.addr)
+	// Schemes with a private speculative buffer (MuonTrap filter) serve
+	// speculative hits from it before consulting the shared hierarchy.
+	if fp, ok := c.policy.(FilterPolicy); ok {
+		if lat, hit := fp.FilterLookup(e.addr); hit {
+			e.invisible = true
+			e.wasL1Hit = true // filter data needs no later install
+			e.level = cache.LevelL1
+			e.mstate = memWalking
+			e.memReady = cycle + lat
+			return
+		}
+	}
+	action := c.policy.DecideLoad(LoadCtx{
+		Core: c.id, Addr: e.addr, Cycle: cycle, L1Hit: l1hit,
+	})
+	switch action {
+	case ActVisible:
+		c.startWalk(e, cycle, true)
+	case ActInvisible:
+		e.invisible = true
+		e.wasL1Hit = l1hit
+		c.startWalk(e, cycle, false)
+	case ActDelay:
+		e.mstate = memDelayed
+		c.stats.LoadsDelayed++
+	}
+}
+
+// forwardingStore returns the youngest older store to the same word, if any.
+func (c *Core) forwardingStore(e *entry) *entry {
+	var found *entry
+	for _, o := range c.memOrder {
+		if o.seq >= e.seq {
+			break
+		}
+		if o.isStore() && o.addrKnown && sameWord(o.addr, e.addr) {
+			found = o
+		}
+	}
+	return found
+}
+
+func sameWord(a, b int64) bool { return a&^7 == b&^7 }
+
+// startWalk issues the hierarchy access for a load, allocating an MSHR for
+// L1 misses. A full MSHR file leaves the load in memRetry — the structural
+// delay the GDMSHR gadget induces on the victim.
+func (c *Core) startWalk(e *entry, cycle int64, visible bool) {
+	h := c.sys.hier
+	if h.L1DHit(c.id, e.addr) {
+		resp := h.AccessData(c.id, e.addr, cache.KindDataRead, visible, cycle)
+		e.level = resp.Level
+		e.mstate = memWalking
+		e.memReady = resp.Ready
+		return
+	}
+	mshr := h.DMSHR(c.id)
+	if ready, ok := mshr.Lookup(e.addr, cycle); ok {
+		// Coalesce onto the outstanding miss. A visible requester still
+		// walks the hierarchy so fills and the C(E) log happen (the fill
+		// the invisible originator suppressed must not be lost).
+		if visible {
+			resp := h.AccessData(c.id, e.addr, cache.KindDataRead, true, cycle)
+			if resp.Ready > ready {
+				ready = resp.Ready
+			}
+		}
+		min := cycle + int64(h.Config().L1D.Latency)
+		if ready < min {
+			ready = min
+		}
+		e.level = cache.LevelLLC
+		e.mstate = memWalking
+		e.memReady = ready
+		return
+	}
+	if mshr.InUse(cycle) >= mshr.Cap() {
+		e.mstate = memRetry
+		c.stats.MSHRRetries++
+		return
+	}
+	resp := h.AccessData(c.id, e.addr, cache.KindDataRead, visible, cycle)
+	mshr.Allocate(e.addr, resp.Ready, cycle)
+	e.level = resp.Level
+	e.mstate = memWalking
+	e.memReady = resp.Ready
+}
+
+// finishLoad captures the data and hands the load to the CDB.
+func (c *Core) finishLoad(e *entry, cycle int64) {
+	if !e.forwarded {
+		e.destVal = c.sys.mem.Read64(e.addr)
+	}
+	if e.invisible {
+		c.stats.LoadsInvisible++
+	}
+	e.mstate = memDone
+	e.execDoneAt = cycle
+	c.executing = append(c.executing, e)
+}
+
+// exposeLoad performs the deferred visible effect of an invisibly-completed
+// load once it is safe: InvisiSpec/SafeSpec expose the access (fills and
+// C(E) entry happen now), MuonTrap installs the filter line, Delay-on-Miss
+// applies the deferred L1 replacement touch.
+func (c *Core) exposeLoad(e *entry, cycle int64) {
+	e.exposed = true
+	switch {
+	case c.policy.ExposeOnSafe():
+		c.sys.hier.AccessData(c.id, e.addr, cache.KindDataRead, true, cycle)
+		c.stats.Exposes++
+	case c.policy.TouchOnSafe() && e.wasL1Hit:
+		c.sys.hier.TouchL1D(c.id, e.addr)
+	}
+}

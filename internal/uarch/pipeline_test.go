@@ -1,0 +1,357 @@
+package uarch
+
+import (
+	"testing"
+
+	"specinterference/internal/asm"
+	"specinterference/internal/cache"
+	"specinterference/internal/isa"
+	"specinterference/internal/mem"
+)
+
+// invisibleFetchPolicy models SafeSpec-like shadow I-structures.
+type invisibleFetchPolicy struct{ Unprotected }
+
+func (invisibleFetchPolicy) IFetch() IFetchMode { return IFetchInvisible }
+
+// delayFetchPolicy models CondSpec-like I-miss holdback.
+type delayFetchPolicy struct{ Unprotected }
+
+func (delayFetchPolicy) IFetch() IFetchMode { return IFetchDelay }
+
+// stallFetchPolicy is the ideal-fence frontend behaviour.
+type stallFetchPolicy struct{ Unprotected }
+
+func (stallFetchPolicy) StallFetchInShadow() bool { return false } // uses branch-stall path
+func (stallFetchPolicy) CanIssue(safe bool) bool  { return safe }
+
+type trueStallPolicy struct{ Unprotected }
+
+func (trueStallPolicy) StallFetchInShadow() bool { return true }
+func (trueStallPolicy) CanIssue(safe bool) bool  { return safe }
+
+// tsoPolicy delays speculative misses under the TSO shadow.
+type tsoPolicy struct{ Unprotected }
+
+func (tsoPolicy) Shadow() ShadowModel { return ShadowSpectreTSO }
+func (tsoPolicy) DecideLoad(ctx LoadCtx) LoadAction {
+	if ctx.L1Hit {
+		return ActInvisible
+	}
+	return ActDelay
+}
+func (tsoPolicy) TouchOnSafe() bool { return true }
+
+// fakeFilter is a trivial FilterPolicy holding one line.
+type fakeFilter struct {
+	Unprotected
+	line   int64
+	filled []int64
+	squash int
+}
+
+func (f *fakeFilter) DecideLoad(LoadCtx) LoadAction { return ActInvisible }
+func (f *fakeFilter) Shadow() ShadowModel           { return ShadowFuturistic }
+func (f *fakeFilter) ExposeOnSafe() bool            { return true }
+func (f *fakeFilter) FilterLookup(addr int64) (int64, bool) {
+	if mem.LineAddr(addr) == f.line {
+		return 2, true
+	}
+	return 0, false
+}
+func (f *fakeFilter) OnInvisibleFill(addr int64) { f.filled = append(f.filled, addr) }
+func (f *fakeFilter) OnSquash()                  { f.squash++ }
+
+// wrongPathVictim builds a program whose mistrained branch fetches a
+// distant wrong-path line, then halts. Returns program and wrong-path line.
+func wrongPathVictim() (*isa.Program, int64, int) {
+	b := asm.NewBuilder()
+	b.MovI(isa.R5, 16384)
+	b.Flush(isa.R5, 0)
+	b.Fence()
+	b.Load(isa.R6, isa.R5, 0) // slow branch operand
+	branchPC := b.PC()
+	b.Blt(isa.R0, isa.R6, "wrong") // 0 < 0: not taken; mistrained taken
+	b.Jmp("done")
+	// Pad so the wrong path sits on its own line.
+	for b.PC()%8 != 0 {
+		b.Nop()
+	}
+	b.Label("wrong")
+	b.Nop()
+	b.Label("spin")
+	b.Jmp("spin")
+	// Keep the correct-path done block off the wrong-path line.
+	for b.PC()%8 != 0 {
+		b.Nop()
+	}
+	b.Label("done")
+	b.Halt()
+	p := b.MustBuild()
+	return p, mem.LineAddr(p.InstAddr(p.Symbols["wrong"])), branchPC
+}
+
+func runWrongPath(t *testing.T, policy SpecPolicy) (*System, int64) {
+	t.Helper()
+	p, wrongLine, branchPC := wrongPathVictim()
+	s := MustNewSystem(testConfig(1), mem.New())
+	for pc := 0; pc < p.Len(); pc++ {
+		line := p.InstAddr(pc) &^ 63
+		if line != wrongLine {
+			s.Hierarchy().WarmInst(0, line, cache.LevelL1)
+		}
+	}
+	s.Hierarchy().Flush(wrongLine)
+	s.Core(0).Predictor().Train(branchPC, true, 4)
+	if err := s.LoadProgram(0, p, policy); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(500_000); err != nil {
+		t.Fatal(err)
+	}
+	return s, wrongLine
+}
+
+func TestIFetchVisibleFillsWrongPathLine(t *testing.T) {
+	s, wrongLine := runWrongPath(t, Unprotected{})
+	if s.Core(0).Stats().Squashes == 0 {
+		t.Fatal("no mis-speculation")
+	}
+	if !s.Hierarchy().LLCSlice(wrongLine).Contains(wrongLine) {
+		t.Error("unprotected frontend should fill the wrong-path I-line")
+	}
+}
+
+func TestIFetchInvisibleHidesWrongPathLine(t *testing.T) {
+	s, wrongLine := runWrongPath(t, invisibleFetchPolicy{})
+	if s.Core(0).Stats().Squashes == 0 {
+		t.Fatal("no mis-speculation")
+	}
+	if s.Hierarchy().LLCSlice(wrongLine).Contains(wrongLine) {
+		t.Error("shadow I-structures must not fill the wrong-path line")
+	}
+}
+
+func TestIFetchDelayHoldsWrongPathMiss(t *testing.T) {
+	s, wrongLine := runWrongPath(t, delayFetchPolicy{})
+	if s.Core(0).Stats().Squashes == 0 {
+		t.Fatal("no mis-speculation")
+	}
+	if s.Hierarchy().LLCSlice(wrongLine).Contains(wrongLine) {
+		t.Error("delayed I-fetch must never issue the wrong-path miss")
+	}
+	if s.Core(0).Stats().FetchStallCycles == 0 {
+		t.Error("expected fetch stalls while the miss was held")
+	}
+}
+
+func TestStallFetchNeverMispredicts(t *testing.T) {
+	s, wrongLine := runWrongPath(t, trueStallPolicy{})
+	if sq := s.Core(0).Stats().Squashes; sq != 0 {
+		t.Errorf("stall-fetch mode squashed %d times — it must never predict", sq)
+	}
+	if s.Hierarchy().LLCSlice(wrongLine).Contains(wrongLine) {
+		t.Error("wrong-path line fetched despite stall-fetch")
+	}
+	// Despite never predicting, the mistrained predictor state is ignored
+	// and the program still completes correctly.
+	if !s.Core(0).Halted() {
+		t.Error("did not halt")
+	}
+}
+
+func TestFilterPolicyServesAndFlushes(t *testing.T) {
+	// A speculative load to the filter's line completes from the filter;
+	// invisible fills are reported; squash clears via OnSquash.
+	p, _, branchPC := wrongPathVictim()
+	_ = branchPC
+	fp := &fakeFilter{line: 131072}
+	prog := asm.MustAssemble(`
+    movi r1, 16384
+    movi r2, 131072
+    movi r3, 196608
+    flush 0(r1)
+    fence
+    load r4, 0(r1)        ; slow
+    blt  r0, r4, go       ; unresolved; target == fallthrough
+go:
+    load r5, 0(r2)        ; filter hit
+    load r6, 0(r3)        ; filter miss → invisible walk → OnInvisibleFill
+    halt`)
+	_ = p
+	s := MustNewSystem(testConfig(1), mem.New())
+	if err := s.LoadProgram(0, prog, fp); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(500_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.filled) == 0 {
+		t.Error("invisible fill never reported to the filter")
+	}
+	found := false
+	for _, a := range fp.filled {
+		if mem.LineAddr(a) == 196608 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("filter fills = %#v, missing the missing line", fp.filled)
+	}
+}
+
+func TestFilterPolicySquashNotification(t *testing.T) {
+	fp := &fakeFilter{line: 1 << 40} // never hits
+	s, _ := func() (*System, int64) {
+		p, wrongLine, branchPC := wrongPathVictim()
+		s := MustNewSystem(testConfig(1), mem.New())
+		for pc := 0; pc < p.Len(); pc++ {
+			s.Hierarchy().WarmInst(0, p.InstAddr(pc)&^63, cache.LevelL1)
+		}
+		s.Core(0).Predictor().Train(branchPC, true, 4)
+		if err := s.LoadProgram(0, p, fp); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(500_000); err != nil {
+			t.Fatal(err)
+		}
+		return s, wrongLine
+	}()
+	if s.Core(0).Stats().Squashes == 0 {
+		t.Fatal("no squash")
+	}
+	if fp.squash == 0 {
+		t.Error("OnSquash never called")
+	}
+}
+
+func TestTSOShadowDelaysYoungerLoadBehindOlderLoad(t *testing.T) {
+	// Under ShadowSpectreTSO a load is unsafe while any OLDER load is
+	// incomplete, even without branches.
+	prog := asm.MustAssemble(`
+    movi r1, 16384
+    movi r2, 131072
+    flush 0(r1)
+    fence
+    load r3, 0(r1)        ; slow older load
+    load r4, 0(r2)        ; younger: TSO-unsafe until r3 completes
+    halt`)
+	s := MustNewSystem(testConfig(1), mem.New())
+	if err := s.LoadProgram(0, prog, tsoPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(500_000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Core(0).Stats().LoadsDelayed == 0 {
+		t.Error("TSO shadow should have delayed the younger load")
+	}
+	// Visible order must be program order.
+	var lines []int64
+	for _, a := range s.Hierarchy().Log() {
+		if a.Kind == cache.KindDataRead {
+			lines = append(lines, a.Line)
+		}
+	}
+	if len(lines) < 2 || lines[0] != 16384 || lines[1] != 131072 {
+		t.Errorf("visible order = %#x", lines)
+	}
+}
+
+func TestCoreAccessors(t *testing.T) {
+	s := MustNewSystem(testConfig(2), mem.New())
+	c := s.Core(1)
+	if c.ID() != 1 {
+		t.Error("ID")
+	}
+	if c.Policy() == nil {
+		t.Error("default policy nil")
+	}
+	c.SetReg(isa.R3, 42)
+	if c.Reg(isa.R3) != 42 {
+		t.Error("SetReg")
+	}
+	if s.NumCores() != 2 {
+		t.Error("NumCores")
+	}
+	if s.Cycle() != 0 {
+		t.Error("fresh cycle")
+	}
+	s.Step()
+	if s.Cycle() != 1 {
+		t.Error("Step")
+	}
+	var st CoreStats
+	if st.IPC() != 0 {
+		t.Error("IPC of zero stats")
+	}
+	st.Cycles, st.Retired = 10, 5
+	if st.IPC() != 0.5 {
+		t.Error("IPC")
+	}
+}
+
+func TestMustNewSystemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	bad := DefaultConfig(1)
+	bad.ROBSize = 0
+	MustNewSystem(bad, mem.New())
+}
+
+func TestPreemptionOnNonPipelinedUnit(t *testing.T) {
+	// With the advanced-defense knobs, an older sqrt preempts a younger
+	// one occupying the non-pipelined unit: the older's issue-to-complete
+	// time stays at one occupancy despite a busy unit.
+	cfg := testConfig(1)
+	cfg.HoldRSUntilSafe = true
+	cfg.AgePriorityArb = true
+	b := asm.NewBuilder()
+	b.MovI(isa.R1, 16384)
+	b.Flush(isa.R1, 0)
+	b.Fence()
+	b.Load(isa.R2, isa.R1, 0) // slow producer for the OLDER sqrt
+	// An unresolved branch (target == fallthrough: never squashes) keeps
+	// everything below speculative, so HoldRSUntilSafe keeps the younger
+	// sqrts preemptable — the attack's configuration.
+	b.Blt(isa.R0, isa.R2, "go")
+	b.Label("go")
+	b.Sqrt(isa.R3, isa.R2) // older sqrt, ready late
+	b.MovI(isa.R4, 99)
+	for i := 0; i < 30; i++ {
+		b.Sqrt(isa.R5, isa.R4) // younger speculative sqrts keep the unit busy
+	}
+	b.Halt()
+	p := b.MustBuild()
+	s := MustNewSystem(cfg, mem.New())
+	warmCode(s, 0, p)
+	rec := &captureHook{}
+	s.Core(0).SetTraceHook(rec)
+	if err := s.LoadProgram(0, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(500_000); err != nil {
+		t.Fatal(err)
+	}
+	var olderWait int64 = -1
+	var loadDone int64
+	for _, r := range rec.recs {
+		if r.Inst.Op == isa.Load {
+			loadDone = r.Complete
+		}
+		if r.Inst.Op == isa.Sqrt && r.PC == 5 {
+			olderWait = r.Issue
+		}
+	}
+	if olderWait < 0 {
+		t.Fatal("older sqrt not traced")
+	}
+	// With preemption the older sqrt issues within ~2 cycles of readiness
+	// instead of waiting out a 12-cycle occupancy.
+	if olderWait > loadDone+3 {
+		t.Errorf("older sqrt issued at %d, ready at %d: preemption failed", olderWait, loadDone)
+	}
+}

@@ -1,0 +1,211 @@
+// Package uarch implements the cycle-level out-of-order multi-core
+// simulator: fetch with a mistrainable branch predictor, rename/dispatch
+// into a reorder buffer and unified reservation stations, age-ordered issue
+// to pipelined and non-pipelined execution units, common-data-bus
+// arbitration, a load/store unit with MSHR allocation, in-order retirement,
+// and squash/recovery.
+//
+// The design deliberately exposes the five microarchitectural behaviours
+// that the speculative interference attacks of Behnia et al. (ASPLOS 2021)
+// exploit:
+//
+//  1. ready-oldest-first issue arbitration (§3.2.2's f/f' cascade),
+//  2. non-pipelined execution-unit occupancy (GDNPEU),
+//  3. one-cycle wakeup delay between a producer's writeback and its
+//     dependant's earliest issue (the "writeback delay" of Figure 3),
+//  4. MSHR allocation in request order with no age reservation (GDMSHR),
+//  5. reservation-station back-pressure that stalls dispatch and then
+//     fetch (GIRS).
+//
+// Invisible-speculation schemes and defenses plug in via SpecPolicy.
+package uarch
+
+import "fmt"
+
+// ShadowModel defines when an instruction stops being speculative.
+type ShadowModel int
+
+// Shadow models.
+const (
+	// ShadowSpectre: an instruction is safe when no older conditional
+	// branch is unresolved (the paper's "Spectre model").
+	ShadowSpectre ShadowModel = iota
+	// ShadowSpectreTSO additionally requires all older loads to have
+	// completed (Delay-on-Miss under a TSO memory model: unprotected loads
+	// may not bypass older loads, so no two unprotected loads are ever
+	// concurrently in flight).
+	ShadowSpectreTSO
+	// ShadowFuturistic: an instruction is safe only when every older
+	// instruction has completed (the paper's "Futuristic model"; the
+	// head-of-ROB unprotection rule of InvisiSpec-Futuristic, SafeSpec
+	// wait-for-commit, Conditional Speculation and MuonTrap).
+	ShadowFuturistic
+)
+
+// String implements fmt.Stringer.
+func (m ShadowModel) String() string {
+	switch m {
+	case ShadowSpectre:
+		return "spectre"
+	case ShadowSpectreTSO:
+		return "spectre-tso"
+	case ShadowFuturistic:
+		return "futuristic"
+	default:
+		return fmt.Sprintf("shadow(%d)", int(m))
+	}
+}
+
+// LoadAction is a policy's decision for a speculative load about to access
+// the data cache.
+type LoadAction int
+
+// Load actions.
+const (
+	// ActVisible lets the load access and update the caches normally (the
+	// unsafe baseline).
+	ActVisible LoadAction = iota
+	// ActInvisible lets the load obtain data without changing any cache
+	// state. The load may later require an expose (see ExposeOnSafe) or a
+	// deferred replacement touch (TouchOnSafe).
+	ActInvisible
+	// ActDelay parks the load; it re-issues visibly once it becomes safe
+	// (Delay-on-Miss's miss handling).
+	ActDelay
+)
+
+// String implements fmt.Stringer.
+func (a LoadAction) String() string {
+	switch a {
+	case ActVisible:
+		return "visible"
+	case ActInvisible:
+		return "invisible"
+	case ActDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// IFetchMode governs speculative instruction fetch.
+type IFetchMode int
+
+// Instruction-fetch modes.
+const (
+	// IFetchVisible: speculative fetches fill the I-cache normally
+	// (InvisiSpec and Delay-on-Miss leave the I-cache unprotected, §3.2.2).
+	IFetchVisible IFetchMode = iota
+	// IFetchInvisible: in-shadow fetches read without filling (SafeSpec
+	// shadow structures, MuonTrap instruction filter).
+	IFetchInvisible
+	// IFetchDelay: in-shadow fetch misses stall the frontend until the
+	// shadow clears (Conditional Speculation, the fence defenses).
+	IFetchDelay
+)
+
+// String implements fmt.Stringer.
+func (m IFetchMode) String() string {
+	switch m {
+	case IFetchVisible:
+		return "visible"
+	case IFetchInvisible:
+		return "invisible"
+	case IFetchDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("ifetch(%d)", int(m))
+	}
+}
+
+// LoadCtx carries what a policy may inspect when deciding a load.
+type LoadCtx struct {
+	// Core is the issuing core's id.
+	Core int
+	// Addr is the load's effective address.
+	Addr int64
+	// Cycle is the current cycle.
+	Cycle int64
+	// L1Hit reports whether the line is in the core's L1D right now.
+	L1Hit bool
+}
+
+// SpecPolicy is an invisible-speculation scheme or defense. One instance is
+// attached per core (stateful policies keep per-core state).
+type SpecPolicy interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Shadow returns the scheme's speculative-shadow model.
+	Shadow() ShadowModel
+	// DecideLoad is consulted for a load that is NOT safe under Shadow().
+	DecideLoad(ctx LoadCtx) LoadAction
+	// ExposeOnSafe reports whether invisibly-completed loads must perform a
+	// visible cache access once safe (InvisiSpec validation/expose, SafeSpec
+	// commit, MuonTrap L1 install).
+	ExposeOnSafe() bool
+	// TouchOnSafe reports whether invisible L1 hits apply their deferred
+	// replacement update once safe (Delay-on-Miss).
+	TouchOnSafe() bool
+	// IFetch returns the speculative instruction-fetch mode.
+	IFetch() IFetchMode
+	// CanIssue gates issue: it receives whether the instruction is safe
+	// under Shadow() and returns whether it may issue now. The §5.2 fence
+	// defenses return safe; everything else returns true.
+	CanIssue(safe bool) bool
+	// StallFetchInShadow, when true, stops the frontend from fetching past
+	// any unresolved squash source (the "ideal" fence variant used to
+	// establish the §5.1 non-interference property; it never mispredicts
+	// because it never predicts).
+	StallFetchInShadow() bool
+}
+
+// UndoPolicy is implemented by CleanupSpec-style schemes: speculative loads
+// execute visibly, but cache fills caused by squashed loads are undone
+// (invalidated) when the squash happens.
+type UndoPolicy interface {
+	// UndoSpeculativeFills enables fill-undo at squash.
+	UndoSpeculativeFills() bool
+}
+
+// FilterPolicy is implemented by schemes with a private speculative buffer
+// (MuonTrap's filter cache): the core consults the filter before the L1 and
+// notifies the policy about invisible fills and squashes.
+type FilterPolicy interface {
+	// FilterLookup returns the extra latency and true when the filter holds
+	// the line.
+	FilterLookup(addr int64) (lat int64, hit bool)
+	// OnInvisibleFill records an invisibly-fetched line into the filter.
+	OnInvisibleFill(addr int64)
+	// OnSquash flushes speculative filter state.
+	OnSquash()
+}
+
+// Unprotected is the baseline machine: every load is visible, speculative
+// fetch fills the I-cache, nothing is gated. It is defined here (rather
+// than in internal/schemes) because it is the hardware default the other
+// policies modify.
+type Unprotected struct{}
+
+// Name implements SpecPolicy.
+func (Unprotected) Name() string { return "unsafe" }
+
+// Shadow implements SpecPolicy.
+func (Unprotected) Shadow() ShadowModel { return ShadowSpectre }
+
+// DecideLoad implements SpecPolicy.
+func (Unprotected) DecideLoad(LoadCtx) LoadAction { return ActVisible }
+
+// ExposeOnSafe implements SpecPolicy.
+func (Unprotected) ExposeOnSafe() bool { return false }
+
+// TouchOnSafe implements SpecPolicy.
+func (Unprotected) TouchOnSafe() bool { return false }
+
+// IFetch implements SpecPolicy.
+func (Unprotected) IFetch() IFetchMode { return IFetchVisible }
+
+// CanIssue implements SpecPolicy.
+func (Unprotected) CanIssue(bool) bool { return true }
+
+// StallFetchInShadow implements SpecPolicy.
+func (Unprotected) StallFetchInShadow() bool { return false }

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"specinterference/internal/mem"
+	"specinterference/internal/schemes"
+	"specinterference/internal/uarch"
+)
+
+// EvalConfig drives a Figure 12 style defense-overhead sweep.
+type EvalConfig struct {
+	// Iters is the per-kernel loop count.
+	Iters int
+	// MaxCycles bounds each run.
+	MaxCycles int64
+	// Schemes lists the policies to evaluate against the unsafe baseline
+	// (default: the two §5.2 fence defenses).
+	Schemes []string
+	// Cores for the machine (Figure 12's system is multi-core; one is
+	// enough since the kernels are single-threaded).
+	Cores int
+}
+
+// DefaultEvalConfig returns the Figure 12 setup.
+func DefaultEvalConfig() EvalConfig {
+	return EvalConfig{
+		Iters:     2000,
+		MaxCycles: 30_000_000,
+		Schemes:   []string{"fence-spectre", "fence-futuristic"},
+		Cores:     1,
+	}
+}
+
+// EvalRow is one workload's normalized execution times.
+type EvalRow struct {
+	Workload       string
+	BaselineCycles int64
+	// Slowdown maps scheme name to execution time normalized to the
+	// unsafe baseline (the Figure 12 y-axis).
+	Slowdown map[string]float64
+	// IPC of the unsafe baseline (diagnostics).
+	BaselineIPC float64
+}
+
+// EvalResult is the full sweep.
+type EvalResult struct {
+	Rows []EvalRow
+	// Geomean maps scheme name to the geometric-mean slowdown across
+	// workloads (the paper reports 1.58x Spectre / 5.38x Futuristic
+	// arithmetic averages over SPEC2017).
+	Geomean map[string]float64
+	// Mean is the arithmetic mean, matching the paper's "on average"
+	// phrasing.
+	Mean map[string]float64
+}
+
+// runOnce executes one kernel under one policy and returns cycles.
+func runOnce(w Workload, policyName string, cfg EvalConfig) (int64, float64, error) {
+	prog, setup := w.Build(cfg.Iters)
+	m := mem.New()
+	setup(m)
+	ucfg := uarch.DefaultConfig(cfg.Cores)
+	sys, err := uarch.NewSystem(ucfg, m)
+	if err != nil {
+		return 0, 0, err
+	}
+	var policy uarch.SpecPolicy
+	if policyName != "unsafe" {
+		policy, err = schemes.ByName(policyName)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	// Warm the code so the comparison measures pipeline policy, not cold
+	// instruction misses.
+	for pc := 0; pc < prog.Len(); pc++ {
+		sys.Hierarchy().WarmInst(0, prog.InstAddr(pc), 0)
+	}
+	if err := sys.LoadProgram(0, prog, policy); err != nil {
+		return 0, 0, err
+	}
+	if err := sys.Run(cfg.MaxCycles); err != nil {
+		return 0, 0, fmt.Errorf("workload %s under %s: %w", w.Name, policyName, err)
+	}
+	st := sys.Core(0).Stats()
+	return st.Cycles, st.IPC(), nil
+}
+
+// Evaluate runs every kernel under the unsafe baseline and each scheme,
+// producing the Figure 12 table.
+func Evaluate(cfg EvalConfig) (*EvalResult, error) {
+	if cfg.Iters <= 0 {
+		return nil, fmt.Errorf("workload: iters must be positive")
+	}
+	if len(cfg.Schemes) == 0 {
+		cfg.Schemes = DefaultEvalConfig().Schemes
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	res := &EvalResult{
+		Geomean: map[string]float64{},
+		Mean:    map[string]float64{},
+	}
+	logSum := map[string]float64{}
+	sum := map[string]float64{}
+	for _, w := range All() {
+		base, ipc, err := runOnce(w, "unsafe", cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := EvalRow{
+			Workload:       w.Name,
+			BaselineCycles: base,
+			BaselineIPC:    ipc,
+			Slowdown:       map[string]float64{},
+		}
+		for _, s := range cfg.Schemes {
+			cycles, _, err := runOnce(w, s, cfg)
+			if err != nil {
+				return nil, err
+			}
+			sd := float64(cycles) / float64(base)
+			row.Slowdown[s] = sd
+			logSum[s] += math.Log(sd)
+			sum[s] += sd
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	n := float64(len(res.Rows))
+	for _, s := range cfg.Schemes {
+		res.Geomean[s] = math.Exp(logSum[s] / n)
+		res.Mean[s] = sum[s] / n
+	}
+	return res, nil
+}
+
+// Format renders the result as a Figure 12 style table.
+func (r *EvalResult) Format(schemeOrder []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %12s", "workload", "base cycles")
+	for _, s := range schemeOrder {
+		fmt.Fprintf(&b, " %18s", s)
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-15s %12d", row.Workload, row.BaselineCycles)
+		for _, s := range schemeOrder {
+			fmt.Fprintf(&b, " %17.2fx", row.Slowdown[s])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-15s %12s", "mean", "")
+	for _, s := range schemeOrder {
+		fmt.Fprintf(&b, " %17.2fx", r.Mean[s])
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-15s %12s", "geomean", "")
+	for _, s := range schemeOrder {
+		fmt.Fprintf(&b, " %17.2fx", r.Geomean[s])
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,204 @@
+package specinterference
+
+import (
+	"specinterference/internal/asm"
+	"specinterference/internal/cache"
+	"specinterference/internal/channel"
+	"specinterference/internal/core"
+	"specinterference/internal/emu"
+	"specinterference/internal/isa"
+	"specinterference/internal/mem"
+	"specinterference/internal/schemes"
+	"specinterference/internal/security"
+	"specinterference/internal/trace"
+	"specinterference/internal/uarch"
+	"specinterference/internal/workload"
+)
+
+// Machine building blocks.
+type (
+	// Config configures a simulated machine (core widths, ports, caches).
+	Config = uarch.Config
+	// System is a lockstep multi-core machine.
+	System = uarch.System
+	// Core is one out-of-order core.
+	Core = uarch.Core
+	// SpecPolicy is an invisible-speculation scheme or defense.
+	SpecPolicy = uarch.SpecPolicy
+	// CacheConfig configures the memory hierarchy.
+	CacheConfig = cache.Config
+	// Hierarchy is the shared cache hierarchy.
+	Hierarchy = cache.Hierarchy
+	// Memory is the flat physical memory.
+	Memory = mem.Memory
+	// Program is an executable instruction sequence.
+	Program = isa.Program
+	// Inst is a single instruction.
+	Inst = isa.Inst
+	// Reg names an architectural register.
+	Reg = isa.Reg
+	// InstRecord is a per-instruction trace record.
+	InstRecord = uarch.InstRecord
+)
+
+// Attack framework types.
+type (
+	// Gadget identifies an interference gadget (GDNPEU, GDMSHR, GIRS).
+	Gadget = core.Gadget
+	// Ordering identifies which accesses the secret reorders.
+	Ordering = core.Ordering
+	// TrialSpec describes one sender run.
+	TrialSpec = core.TrialSpec
+	// TrialResult is a sender run's probe events.
+	TrialResult = core.TrialResult
+	// PoC is an end-to-end cross-core attack.
+	PoC = core.PoC
+	// BitOutcome is one PoC trial's decoded bit.
+	BitOutcome = core.BitOutcome
+	// MatrixCell is one Table 1 entry.
+	MatrixCell = core.MatrixCell
+	// ChannelResult is one Figure 11 curve point.
+	ChannelResult = channel.Result
+	// SecurityReport is a §5.1 checker outcome.
+	SecurityReport = security.Report
+	// Workload is a synthetic SPEC-like kernel.
+	Workload = workload.Workload
+	// EvalResult is a Figure 12 defense-overhead table.
+	EvalResult = workload.EvalResult
+	// Figure7Result is the interference-contention histogram data.
+	Figure7Result = core.Figure7Result
+	// VictimParams tunes gadget/target chain lengths.
+	VictimParams = core.VictimParams
+)
+
+// Gadgets and orderings (Table 1 axes).
+const (
+	GadgetNPEU = core.GadgetNPEU
+	GadgetMSHR = core.GadgetMSHR
+	GadgetRS   = core.GadgetRS
+
+	OrderVDVD = core.OrderVDVD
+	OrderVDAD = core.OrderVDAD
+	OrderVIAD = core.OrderVIAD
+)
+
+// PoCKind selects an end-to-end attack variant.
+type PoCKind = core.PoCKind
+
+// Attack variants.
+const (
+	// DCacheAttack is the §4.2 GDNPEU attack with the QLRU receiver.
+	DCacheAttack = core.DCachePoC
+	// ICacheAttack is the §4.3 GIRS attack with Flush+Reload.
+	ICacheAttack = core.ICachePoC
+	// MSHRAttack is the GDMSHR VD-VD attack with the QLRU receiver.
+	MSHRAttack = core.MSHRPoC
+)
+
+// NewSystem builds a multi-core machine over fresh memory.
+func NewSystem(cfg Config) (*System, *Memory, error) {
+	m := mem.New()
+	sys, err := uarch.NewSystem(cfg, m)
+	return sys, m, err
+}
+
+// DefaultConfig returns a Kaby-Lake-shaped machine configuration.
+func DefaultConfig(cores int) Config { return uarch.DefaultConfig(cores) }
+
+// AttackConfig returns the two-core configuration the PoCs run on.
+func AttackConfig() Config { return core.AttackConfig() }
+
+// Assemble parses assembler text into a program.
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// MustAssemble is Assemble panicking on error.
+func MustAssemble(src string) *Program { return asm.MustAssemble(src) }
+
+// Emulate runs a program on the architectural (golden-model) emulator.
+func Emulate(p *Program, m *Memory) (*emu.Result, error) {
+	return emu.New(p, m).Run()
+}
+
+// Scheme constructs an invisible-speculation scheme or defense by name:
+// unsafe, dom, dom-tso, invisispec-spectre, invisispec-futuristic,
+// safespec-wfb, safespec-wfc, muontrap, condspec, fence-spectre,
+// fence-futuristic, fence-spectre-ideal, fence-futuristic-ideal.
+func Scheme(name string) (SpecPolicy, error) { return schemes.ByName(name) }
+
+// SchemeNames lists every name Scheme accepts.
+func SchemeNames() []string { return schemes.Names() }
+
+// RunTrial executes one interference-sender run and reports the visible
+// accesses to the probe lines.
+func RunTrial(spec TrialSpec) (*TrialResult, error) { return core.RunTrial(spec) }
+
+// NewDCachePoC returns the §4.2 D-Cache attack (GDNPEU sender + QLRU
+// replacement-state receiver).
+func NewDCachePoC(scheme string, jitter int) *PoC { return core.NewDCachePoC(scheme, jitter) }
+
+// NewICachePoC returns the §4.3 I-Cache attack (GIRS sender + Flush+Reload
+// receiver).
+func NewICachePoC(scheme string, jitter int) *PoC { return core.NewICachePoC(scheme, jitter) }
+
+// VulnerabilityMatrix classifies schemes against every gadget/ordering
+// combination — Table 1.
+func VulnerabilityMatrix(schemeNames []string) ([]MatrixCell, error) {
+	return core.VulnerabilityMatrix(schemeNames)
+}
+
+// FormatMatrix renders matrix cells as a Table 1-style text table.
+func FormatMatrix(cells []MatrixCell) string { return core.FormatMatrix(cells) }
+
+// ExpectedTable1 returns the paper's Table 1 for comparison.
+func ExpectedTable1() map[string]map[string]bool { return core.ExpectedTable1() }
+
+// Figure7 measures the §4.2.1 interference-contention histogram.
+func Figure7(trials, jitter int, seed uint64) (*Figure7Result, error) {
+	return core.Figure7(trials, jitter, seed)
+}
+
+// ChannelCurve measures a Figure 11 error-versus-rate curve for a PoC.
+func ChannelCurve(poc *PoC, repsList []int, bits int, seed uint64) ([]ChannelResult, error) {
+	return channel.Curve(poc, repsList, bits, seed)
+}
+
+// DCacheFigure11 and ICacheFigure11 return the PoCs at their calibrated
+// Figure 11 noise operating points.
+func DCacheFigure11() *PoC { return channel.DCacheFigure11() }
+
+// ICacheFigure11 returns the Figure 11(b) PoC.
+func ICacheFigure11() *PoC { return channel.ICacheFigure11() }
+
+// DefenseOverhead runs the Figure 12 sweep: every synthetic kernel under
+// the unsafe baseline and the named defenses.
+func DefenseOverhead(iters int, schemeNames []string) (*EvalResult, error) {
+	cfg := workload.DefaultEvalConfig()
+	if iters > 0 {
+		cfg.Iters = iters
+	}
+	if len(schemeNames) > 0 {
+		cfg.Schemes = schemeNames
+	}
+	return workload.Evaluate(cfg)
+}
+
+// CheckIdealInvisibleSpeculation verifies the §5.1 definition for a
+// program under a scheme: C(E) = C(NoSpec(E)).
+func CheckIdealInvisibleSpeculation(spec security.RunSpec) (*SecurityReport, error) {
+	return security.Check(spec)
+}
+
+// Workloads returns the synthetic SPEC-like kernels.
+func Workloads() []Workload { return workload.All() }
+
+// NewTraceRecorder returns a trace hook for System cores; render its
+// records with RenderTimeline.
+func NewTraceRecorder() *trace.Recorder { return trace.NewRecorder() }
+
+// RenderTimeline draws instruction records as an ASCII pipeline timeline.
+func RenderTimeline(records []InstRecord, opt trace.Options) string {
+	return trace.Render(records, opt)
+}
+
+// TimelineOptions configures RenderTimeline.
+type TimelineOptions = trace.Options

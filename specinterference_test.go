@@ -1,0 +1,175 @@
+package specinterference_test
+
+import (
+	"strings"
+	"testing"
+
+	si "specinterference"
+)
+
+func TestFacadeAssembleAndRun(t *testing.T) {
+	prog, err := si.Assemble("movi r1, 20\nmuli r2, r1, 2\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, m, err := si.NewSystem(si.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("nil memory")
+	}
+	if err := sys.LoadProgram(0, prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Core(0).Reg(2); got != 40 {
+		t.Errorf("r2 = %d, want 40", got)
+	}
+}
+
+func TestFacadeEmulator(t *testing.T) {
+	prog := si.MustAssemble("movi r3, 7\naddi r3, r3, 1\nhalt")
+	sys, m, err := si.NewSystem(si.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sys
+	res, err := si.Emulate(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[3] != 8 {
+		t.Errorf("emulated r3 = %d", res.Regs[3])
+	}
+}
+
+func TestFacadeSchemes(t *testing.T) {
+	names := si.SchemeNames()
+	if len(names) < 10 {
+		t.Fatalf("only %d schemes", len(names))
+	}
+	for _, n := range names {
+		p, err := si.Scheme(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != n {
+			t.Errorf("Scheme(%q).Name() = %q", n, p.Name())
+		}
+	}
+	if _, err := si.Scheme("bogus"); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestFacadeTrialAndMatrix(t *testing.T) {
+	pol, err := si.Scheme("dom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := si.RunTrial(si.TrialSpec{
+		Gadget: si.GadgetNPEU, Ordering: si.OrderVDVD,
+		Policy: pol, Secret: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Events) == 0 {
+		t.Error("no probe events")
+	}
+	cells, err := si.VulnerabilityMatrix([]string{"dom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := si.FormatMatrix(cells)
+	if !strings.Contains(out, "G_NPEU") {
+		t.Errorf("matrix rendering:\n%s", out)
+	}
+	if len(si.ExpectedTable1()) == 0 {
+		t.Error("expected table empty")
+	}
+}
+
+func TestFacadePoCs(t *testing.T) {
+	for _, poc := range []*si.PoC{
+		si.NewDCachePoC("dom", 0),
+		si.NewICachePoC("invisispec-spectre", 0),
+		{SchemeName: "invisispec-spectre", Kind: si.MSHRAttack},
+	} {
+		for secret := 0; secret <= 1; secret++ {
+			out, err := poc.RunBit(secret, uint64(secret+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.OK || out.Decoded != secret {
+				t.Errorf("%s: secret %d decoded %d ok=%v", poc.Kind, secret, out.Decoded, out.OK)
+			}
+		}
+	}
+}
+
+func TestFacadeFigure7AndChannel(t *testing.T) {
+	f7, err := si.Figure7(10, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.Separation <= 0 {
+		t.Error("no separation")
+	}
+	curve, err := si.ChannelCurve(si.ICacheFigure11(), []int{1}, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 1 || curve[0].Bps <= 0 {
+		t.Errorf("curve = %+v", curve)
+	}
+	if si.DCacheFigure11() == nil {
+		t.Error("nil PoC")
+	}
+}
+
+func TestFacadeDefenseOverheadAndWorkloads(t *testing.T) {
+	if len(si.Workloads()) < 6 {
+		t.Error("missing kernels")
+	}
+	res, err := si.DefenseOverhead(100, []string{"fence-spectre"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean["fence-spectre"] < 1.0 {
+		t.Errorf("slowdown %f < 1", res.Mean["fence-spectre"])
+	}
+}
+
+func TestFacadeTimeline(t *testing.T) {
+	prog := si.MustAssemble("movi r1, 3\nsqrt r2, r1\nhalt")
+	sys, _, err := si.NewSystem(si.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := si.NewTraceRecorder()
+	sys.Core(0).SetTraceHook(rec)
+	if err := sys.LoadProgram(0, prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	out := si.RenderTimeline(rec.Records(), si.TimelineOptions{})
+	if !strings.Contains(out, "sqrt") {
+		t.Errorf("timeline:\n%s", out)
+	}
+}
+
+func TestFacadeAttackConfig(t *testing.T) {
+	cfg := si.AttackConfig()
+	if cfg.Cache.Cores != 2 || cfg.Cache.LLC.Ways != 16 {
+		t.Error("attack config shape")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
+	}
+}
