@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	covertbench [-poc dcache|icache|both] [-bits 64] [-reps 1,3,5,9,15]
+//	covertbench [-poc dcache|icache|both] [-bits 64] [-reps 1,3,5,9,15] [-parallel N] [-json]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,11 +20,32 @@ import (
 	si "specinterference"
 )
 
+// jsonCurve is the machine-readable form of one PoC's Figure 11 curve.
+type jsonCurve struct {
+	PoC    string      `json:"poc"`
+	Scheme string      `json:"scheme"`
+	Seed   uint64      `json:"seed"`
+	Points []jsonPoint `json:"points"`
+}
+
+// jsonPoint is one error-vs-rate curve point.
+type jsonPoint struct {
+	Reps         int     `json:"reps"`
+	Bits         int     `json:"bits"`
+	Errors       int     `json:"errors"`
+	Dropped      int     `json:"dropped"`
+	ErrorRate    float64 `json:"error_rate"`
+	CyclesPerBit float64 `json:"cycles_per_bit"`
+	Bps          float64 `json:"bps"`
+}
+
 func main() {
 	poc := flag.String("poc", "both", "dcache, icache or both")
 	bits := flag.Int("bits", 64, "random bits per curve point")
 	repsFlag := flag.String("reps", "1,3,5,9,15", "comma-separated repetitions-per-bit sweep")
 	seed := flag.Uint64("seed", 1, "measurement seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = one per CPU); trials shard per bit×rep, results identical at any value")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text curves")
 	flag.Parse()
 
 	var reps []int
@@ -35,22 +58,40 @@ func main() {
 		reps = append(reps, v)
 	}
 
-	run := func(name string, p *si.PoC) {
-		fmt.Printf("Figure 11 (%s PoC, scheme %s): error rate vs bit rate\n", name, p.SchemeName)
-		results, err := si.ChannelCurve(p, reps, *bits, *seed)
+	var curves []jsonCurve
+	run := func(display, name string, p *si.PoC) {
+		results, err := si.ChannelCurveParallel(context.Background(), p, reps, *bits, *seed, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "covertbench:", err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			c := jsonCurve{PoC: name, Scheme: p.SchemeName, Seed: *seed}
+			for _, r := range results {
+				c.Points = append(c.Points, jsonPoint{
+					Reps: r.Reps, Bits: r.Bits, Errors: r.Errors, Dropped: r.Dropped,
+					ErrorRate: r.ErrorRate, CyclesPerBit: r.CyclesPerBit, Bps: r.Bps,
+				})
+			}
+			curves = append(curves, c)
+			return
+		}
+		fmt.Printf("Figure 11 (%s PoC, scheme %s): error rate vs bit rate\n", display, p.SchemeName)
 		for _, r := range results {
 			fmt.Println("  " + r.String())
 		}
 		fmt.Println()
 	}
 	if *poc == "dcache" || *poc == "both" {
-		run("D-Cache", si.DCacheFigure11())
+		run("D-Cache", "dcache", si.DCacheFigure11())
 	}
 	if *poc == "icache" || *poc == "both" {
-		run("I-Cache", si.ICacheFigure11())
+		run("I-Cache", "icache", si.ICacheFigure11())
+	}
+	if *jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(curves); err != nil {
+			fmt.Fprintln(os.Stderr, "covertbench:", err)
+			os.Exit(1)
+		}
 	}
 }

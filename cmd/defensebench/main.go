@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	defensebench [-iters 2000] [-schemes fence-spectre,fence-futuristic]
+//	defensebench [-iters 2000] [-schemes fence-spectre,fence-futuristic] [-parallel N] [-json]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,17 +18,46 @@ import (
 	si "specinterference"
 )
 
+// jsonRow is the machine-readable form of one workload's slowdowns.
+type jsonRow struct {
+	Workload       string             `json:"workload"`
+	BaselineCycles int64              `json:"baseline_cycles"`
+	BaselineIPC    float64            `json:"baseline_ipc"`
+	Slowdown       map[string]float64 `json:"slowdown"`
+}
+
 func main() {
 	iters := flag.Int("iters", 2000, "loop iterations per kernel")
 	schemesFlag := flag.String("schemes", "fence-spectre,fence-futuristic",
 		"comma-separated defense list")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = one per CPU); one shard per workload×scheme cell, results identical at any value")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
 	flag.Parse()
 
 	names := strings.Split(*schemesFlag, ",")
-	res, err := si.DefenseOverhead(*iters, names)
+	res, err := si.DefenseOverheadParallel(context.Background(), *iters, names, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "defensebench:", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		out := struct {
+			Iters   int                `json:"iters"`
+			Rows    []jsonRow          `json:"rows"`
+			Mean    map[string]float64 `json:"mean"`
+			Geomean map[string]float64 `json:"geomean"`
+		}{Iters: *iters, Mean: res.Mean, Geomean: res.Geomean}
+		for _, row := range res.Rows {
+			out.Rows = append(out.Rows, jsonRow{
+				Workload: row.Workload, BaselineCycles: row.BaselineCycles,
+				BaselineIPC: row.BaselineIPC, Slowdown: row.Slowdown,
+			})
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "defensebench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Println("Figure 12: fence-defense slowdown over the unsafe baseline")
 	fmt.Print(res.Format(names))

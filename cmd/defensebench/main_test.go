@@ -1,0 +1,33 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"specinterference/internal/cmdtest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := cmdtest.Run(t, "", "-iters", "50", "-schemes", "fence-spectre")
+	if !strings.Contains(out, "Figure 12") || !strings.Contains(out, "geomean") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestSmokeJSON(t *testing.T) {
+	out := cmdtest.Run(t, "", "-iters", "50", "-schemes", "fence-spectre", "-json", "-parallel", "2")
+	var res struct {
+		Rows []struct {
+			Workload string             `json:"workload"`
+			Slowdown map[string]float64 `json:"slowdown"`
+		} `json:"rows"`
+		Geomean map[string]float64 `json:"geomean"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(res.Rows) == 0 || res.Geomean["fence-spectre"] <= 0 {
+		t.Errorf("unexpected JSON payload: %+v", res)
+	}
+}

@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	interference [-trials 500] [-jitter 30]
+//	interference [-trials 500] [-jitter 30] [-parallel N] [-json]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +22,30 @@ func main() {
 	trials := flag.Int("trials", 500, "trials per arm")
 	jitter := flag.Int("jitter", 30, "DRAM latency jitter (cycles)")
 	seed := flag.Uint64("seed", 1, "seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = one per CPU); results are identical at any value")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the histograms")
 	flag.Parse()
 
-	res, err := si.Figure7(*trials, *jitter, *seed)
+	res, err := si.Figure7Parallel(context.Background(), *trials, *jitter, *seed, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "interference:", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		out := struct {
+			Trials       int       `json:"trials"`
+			Jitter       int       `json:"jitter"`
+			Seed         uint64    `json:"seed"`
+			Separation   float64   `json:"separation_cycles"`
+			Overlap      float64   `json:"overlap_coefficient"`
+			Baseline     []float64 `json:"baseline_latencies"`
+			Interference []float64 `json:"interference_latencies"`
+		}{*trials, *jitter, *seed, res.Separation, res.Overlap, res.Baseline, res.Interference}
+		if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "interference:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Println("Figure 7: interference gadget contention histogram")
 	fmt.Printf("separation: %.1f cycles   overlap coefficient: %.3f\n\n", res.Separation, res.Overlap)

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"specinterference/internal/cmdtest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := cmdtest.Run(t, "", "-trials", "2", "-jitter", "5")
+	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "separation") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestSmokeJSON(t *testing.T) {
+	out := cmdtest.Run(t, "", "-trials", "2", "-jitter", "5", "-json", "-parallel", "2")
+	var res struct {
+		Trials       int       `json:"trials"`
+		Baseline     []float64 `json:"baseline_latencies"`
+		Interference []float64 `json:"interference_latencies"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if res.Trials != 2 || len(res.Baseline) != 2 || len(res.Interference) != 2 {
+		t.Errorf("unexpected JSON payload: %+v", res)
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"specinterference/internal/cmdtest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := cmdtest.Run(t, "movi r1, 2\nhalt\n")
+	if !strings.Contains(out, "cycles") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}

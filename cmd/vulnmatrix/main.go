@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	vulnmatrix [-schemes dom,invisispec-spectre,...] [-verify]
+//	vulnmatrix [-schemes dom,invisispec-spectre,...] [-verify] [-parallel N] [-json]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,36 +19,69 @@ import (
 	si "specinterference"
 )
 
+// jsonCell is the machine-readable form of one matrix cell.
+type jsonCell struct {
+	Scheme     string `json:"scheme"`
+	Gadget     string `json:"gadget"`
+	Ordering   string `json:"ordering"`
+	Vulnerable bool   `json:"vulnerable"`
+	RefCycle   int64  `json:"ref_cycle,omitempty"`
+}
+
 func main() {
 	schemesFlag := flag.String("schemes", "", "comma-separated scheme list (default: all)")
 	verify := flag.Bool("verify", false, "compare against the paper's Table 1 and exit non-zero on mismatch")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = one per CPU); one shard per matrix cell, results identical at any value")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
 	flag.Parse()
 
 	names := si.SchemeNames()
 	if *schemesFlag != "" {
 		names = strings.Split(*schemesFlag, ",")
 	}
-	cells, err := si.VulnerabilityMatrix(names)
+	cells, err := si.VulnerabilityMatrixParallel(context.Background(), names, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vulnmatrix:", err)
 		os.Exit(1)
 	}
-	fmt.Print(si.FormatMatrix(cells))
+	if *jsonOut {
+		out := make([]jsonCell, 0, len(cells))
+		for _, c := range cells {
+			out = append(out, jsonCell{
+				Scheme: c.Scheme, Gadget: c.Gadget.String(), Ordering: c.Ordering.String(),
+				Vulnerable: c.Vulnerable, RefCycle: c.RefCycle,
+			})
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "vulnmatrix:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(si.FormatMatrix(cells))
+	}
 
 	if *verify {
+		// In -json mode stdout must stay a single JSON document, so the
+		// verify diagnostics go to stderr.
+		diag := os.Stdout
+		if *jsonOut {
+			diag = os.Stderr
+		}
 		expected := si.ExpectedTable1()
 		bad := 0
 		for _, c := range cells {
 			k := c.Gadget.String() + "|" + c.Ordering.String()
 			if want := expected[k][c.Scheme]; want != c.Vulnerable {
 				bad++
-				fmt.Printf("MISMATCH %-22s %-22s got %v, paper says %v\n", k, c.Scheme, c.Vulnerable, want)
+				fmt.Fprintf(diag, "MISMATCH %-22s %-22s got %v, paper says %v\n", k, c.Scheme, c.Vulnerable, want)
 			}
 		}
 		if bad > 0 {
-			fmt.Printf("%d mismatches against the paper's Table 1\n", bad)
+			fmt.Fprintf(diag, "%d mismatches against the paper's Table 1\n", bad)
 			os.Exit(1)
 		}
-		fmt.Println("matrix matches the paper's Table 1")
+		if !*jsonOut {
+			fmt.Println("matrix matches the paper's Table 1")
+		}
 	}
 }

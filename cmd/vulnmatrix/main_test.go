@@ -1,0 +1,33 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"specinterference/internal/cmdtest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := cmdtest.Run(t, "", "-schemes", "unsafe")
+	if !strings.Contains(out, "Gadget|Ordering") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestSmokeJSON(t *testing.T) {
+	out := cmdtest.Run(t, "", "-schemes", "unsafe,dom", "-json", "-parallel", "2")
+	var cells []struct {
+		Scheme     string `json:"scheme"`
+		Gadget     string `json:"gadget"`
+		Ordering   string `json:"ordering"`
+		Vulnerable bool   `json:"vulnerable"`
+	}
+	if err := json.Unmarshal([]byte(out), &cells); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	// 7 gadget×ordering combos × 2 schemes.
+	if len(cells) != 14 {
+		t.Errorf("got %d cells, want 14", len(cells))
+	}
+}

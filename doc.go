@@ -24,8 +24,30 @@
 //     replacement-state receiver of §4.2.2, and end-to-end cross-core
 //     proof-of-concept attacks,
 //   - harnesses that regenerate every table and figure of the evaluation
-//     (Table 1; Figures 7, 8, 9, 10, 11a, 11b, 12), and
-//   - a checker for the §5.1 "ideal invisible speculation" definition.
+//     (Table 1; Figures 7, 8, 9, 10, 11a, 11b, 12),
+//   - a checker for the §5.1 "ideal invisible speculation" definition, and
+//   - a deterministic sharded experiment runner (internal/runner) that
+//     fans independent trials out across a bounded worker pool.
+//
+// # Parallel experiment running
+//
+// The four repeated-trial harnesses — Figure7, VulnerabilityMatrix,
+// ChannelCurve and DefenseOverhead — shard their trials through
+// internal/runner. Each has a *Parallel variant taking a context and a
+// worker count (0 = one worker per CPU), surfaced on the CLIs as
+// -parallel; vulnmatrix, covertbench, defensebench and interference also
+// take -json for machine-readable output.
+//
+// The seed-derivation contract makes the worker count a pure wall-clock
+// knob: every shard's seed is an arithmetic function of its index alone
+// (Figure7 trial i of arm s runs at seedBase + 2i + s; channel trial
+// (bit b, rep r) at seedBase*1_000_003 + 17 + b*reps + r + 1 — exactly
+// the sequences the old serial loops produced), every shard builds its
+// own System and Memory, and runner.Map returns results in index order.
+// Aggregation then replays the serial loop's order, so outputs are
+// bit-identical at any worker count ≥ 1; the determinism tests in
+// internal/core, internal/channel and internal/workload pin the serial
+// reference loops as goldens.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-versus-measured results. The root package is a

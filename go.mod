@@ -1,0 +1,3 @@
+module specinterference
+
+go 1.22

@@ -6,10 +6,12 @@
 package channel
 
 import (
+	"context"
 	"fmt"
 
 	"specinterference/internal/cache"
 	"specinterference/internal/core"
+	"specinterference/internal/runner"
 )
 
 // NominalGHz converts simulated cycles to wall-clock time for the bps
@@ -27,6 +29,9 @@ type Config struct {
 	Bits int
 	// SeedBase derives per-trial seeds (deterministic measurements).
 	SeedBase uint64
+	// Workers bounds trial concurrency (0 = one per CPU). Seeds are a pure
+	// function of the trial index, so results are identical at any value.
+	Workers int
 }
 
 // Result is one point of the error-vs-rate curve.
@@ -49,26 +54,43 @@ func (r Result) String() string {
 }
 
 // Measure transmits Bits random bits through the PoC at Reps trials per
-// bit and reports the achieved error rate and rate.
+// bit and reports the achieved error rate and rate. Trials shard across
+// cfg.Workers goroutines: trial (b, rep) always runs with seed
+// seedBase*1_000_003 + 17 + b*Reps + rep + 1 — the exact sequence the
+// serial loop's seed++ produced — so the measurement is bit-identical at
+// any worker count.
 func Measure(cfg Config) (Result, error) {
+	return MeasureContext(context.Background(), cfg)
+}
+
+// MeasureContext is Measure with cancellation.
+func MeasureContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Reps < 1 || cfg.Bits < 1 {
 		return Result{}, fmt.Errorf("channel: reps and bits must be >= 1")
 	}
 	if cfg.PoC == nil {
 		return Result{}, fmt.Errorf("channel: nil PoC")
 	}
+	// Draw the transmitted bits upfront, in the same rng order the serial
+	// loop drew them between trial batches.
 	rng := cache.NewRand(cfg.SeedBase | 1)
+	bits := make([]int, cfg.Bits)
+	for b := range bits {
+		bits[b] = rng.Intn(2)
+	}
+	seed0 := cfg.SeedBase*1_000_003 + 17
+	outs, err := runner.Map(ctx, cfg.Bits*cfg.Reps, cfg.Workers,
+		func(_ context.Context, j int) (core.BitOutcome, error) {
+			return cfg.PoC.RunBit(bits[j/cfg.Reps], seed0+uint64(j)+1)
+		})
+	if err != nil {
+		return Result{}, err
+	}
 	res := Result{Reps: cfg.Reps, Bits: cfg.Bits}
-	seed := cfg.SeedBase*1_000_003 + 17
 	for b := 0; b < cfg.Bits; b++ {
-		bit := rng.Intn(2)
 		votes := [2]int{}
 		for rep := 0; rep < cfg.Reps; rep++ {
-			seed++
-			out, err := cfg.PoC.RunBit(bit, seed)
-			if err != nil {
-				return Result{}, err
-			}
+			out := outs[b*cfg.Reps+rep]
 			res.TotalCycles += out.Cycles
 			if out.OK {
 				votes[out.Decoded]++
@@ -80,7 +102,7 @@ func Measure(cfg Config) (Result, error) {
 		if votes[1] > votes[0] {
 			decoded = 1
 		}
-		if decoded != bit {
+		if decoded != bits[b] {
 			res.Errors++
 		}
 	}
@@ -91,13 +113,22 @@ func Measure(cfg Config) (Result, error) {
 }
 
 // Curve measures one point per repetition count, producing a Figure 11
-// style error-vs-rate curve (higher reps → lower rate → lower error).
+// style error-vs-rate curve (higher reps → lower rate → lower error),
+// with one worker per CPU; see CurveParallel for the explicit knob.
 func Curve(poc *core.PoC, repsList []int, bits int, seedBase uint64) ([]Result, error) {
+	return CurveParallel(context.Background(), poc, repsList, bits, seedBase, 0)
+}
+
+// CurveParallel is Curve with bounded per-trial concurrency. Points are
+// measured in order (each point's SeedBase depends only on its position),
+// and the trials inside each point fan out across the pool.
+func CurveParallel(ctx context.Context, poc *core.PoC, repsList []int, bits int, seedBase uint64, workers int) ([]Result, error) {
 	var out []Result
 	for i, reps := range repsList {
-		r, err := Measure(Config{
+		r, err := MeasureContext(ctx, Config{
 			PoC: poc, Reps: reps, Bits: bits,
 			SeedBase: seedBase + uint64(i)*7_919,
+			Workers:  workers,
 		})
 		if err != nil {
 			return nil, err

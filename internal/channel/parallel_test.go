@@ -1,0 +1,88 @@
+package channel
+
+import (
+	"testing"
+
+	"specinterference/internal/cache"
+)
+
+// serialMeasure is the pre-runner serial loop of Measure, kept as the
+// golden reference for the seed contract: trial (bit, rep) runs with seed
+// seedBase*1_000_003 + 17 + bit*Reps + rep + 1.
+func serialMeasure(t *testing.T, cfg Config) Result {
+	t.Helper()
+	rng := cache.NewRand(cfg.SeedBase | 1)
+	res := Result{Reps: cfg.Reps, Bits: cfg.Bits}
+	seed := cfg.SeedBase*1_000_003 + 17
+	for b := 0; b < cfg.Bits; b++ {
+		bit := rng.Intn(2)
+		votes := [2]int{}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			seed++
+			out, err := cfg.PoC.RunBit(bit, seed)
+			if err != nil {
+				t.Fatalf("serial reference: %v", err)
+			}
+			res.TotalCycles += out.Cycles
+			if out.OK {
+				votes[out.Decoded]++
+			} else {
+				res.Dropped++
+			}
+		}
+		decoded := 0
+		if votes[1] > votes[0] {
+			decoded = 1
+		}
+		if decoded != bit {
+			res.Errors++
+		}
+	}
+	res.ErrorRate = float64(res.Errors) / float64(res.Bits)
+	res.CyclesPerBit = float64(res.TotalCycles) / float64(res.Bits)
+	res.Bps = NominalGHz * 1e9 / res.CyclesPerBit
+	return res
+}
+
+// TestMeasureParallelMatchesSerial asserts a noisy D-Cache measurement is
+// bit-identical to the serial loop at worker counts 1 and 4 (every Result
+// field, cycle totals included).
+func TestMeasureParallelMatchesSerial(t *testing.T) {
+	cfg := Config{PoC: DCacheFigure11(), Reps: 3, Bits: 4, SeedBase: 11}
+	want := serialMeasure(t, cfg)
+	for _, workers := range []int{1, 4} {
+		cfg.Workers = workers
+		got, err := Measure(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: Measure = %+v, serial = %+v", workers, got, want)
+		}
+	}
+}
+
+// TestCurveParallelMatchesSerial asserts whole curves agree between worker
+// counts (each point derives its SeedBase from its position only).
+func TestCurveParallelMatchesSerial(t *testing.T) {
+	poc := ICacheFigure11()
+	reps := []int{1, 3}
+	c1, err := Curve(poc, reps, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := CurveParallel(nil, poc, reps, 3, 5, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(c1) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(c1))
+		}
+		for i := range c1 {
+			if got[i] != c1[i] {
+				t.Errorf("workers=%d: point %d = %+v, want %+v", workers, i, got[i], c1[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Package cmdtest builds and runs the cmd/ binaries for smoke tests: each
+// test compiles the main package in its own working directory and asserts
+// a zero exit with non-empty output on a tiny workload.
+package cmdtest
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Run builds the main package in the test's working directory, executes it
+// with args (feeding stdin when non-empty), and returns stdout. Any build
+// failure, non-zero exit or empty stdout fails the test.
+func Run(t *testing.T, stdin string, args ...string) string {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "smoke.bin")
+	build := exec.Command(goBin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %s: %v\nstderr: %s", filepath.Base(bin), strings.Join(args, " "), err, stderr.String())
+	}
+	if stdout.Len() == 0 {
+		t.Fatalf("%s produced no output (stderr: %s)", strings.Join(args, " "), stderr.String())
+	}
+	return stdout.String()
+}

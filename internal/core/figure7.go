@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"specinterference/internal/isa"
+	"specinterference/internal/runner"
 	"specinterference/internal/stats"
 )
 
@@ -27,24 +29,35 @@ type Figure7Result struct {
 // Figure7 measures the §4.2.1 contention histogram: `trials` runs per arm
 // of the GDNPEU sender, the baseline arm with secret 0 (gadget inert) and
 // the interference arm with secret 1. Jitter injects the DRAM latency
-// noise that gives each arm its spread.
+// noise that gives each arm its spread. Trials run across one worker per
+// CPU; see Figure7Parallel for the explicit knob.
 func Figure7(trials, jitter int, seedBase uint64) (*Figure7Result, error) {
+	return Figure7Parallel(context.Background(), trials, jitter, seedBase, 0)
+}
+
+// Figure7Parallel is Figure7 with bounded concurrency: trials shard across
+// Workers(workers, 2*trials) goroutines. Each shard's seed is derived from
+// its (secret, trial) index exactly as the serial loop derived it —
+// seedBase + 2*trial + secret — so results are bit-identical at any worker
+// count.
+func Figure7Parallel(ctx context.Context, trials, jitter int, seedBase uint64, workers int) (*Figure7Result, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("core: need at least one trial")
 	}
-	res := &Figure7Result{}
-	for secret := 0; secret <= 1; secret++ {
-		for i := 0; i < trials; i++ {
-			lat, err := measureTargetLatency(secret, jitter, seedBase+uint64(2*i+secret))
-			if err != nil {
-				return nil, err
-			}
-			if secret == 0 {
-				res.Baseline = append(res.Baseline, lat)
-			} else {
-				res.Interference = append(res.Interference, lat)
-			}
-		}
+	// Shard j covers secret j/trials, trial j%trials; the flattening keeps
+	// baseline shards in [0, trials) and interference in [trials, 2*trials).
+	lats, err := runner.Map(ctx, 2*trials, workers, func(_ context.Context, j int) (float64, error) {
+		secret, i := j/trials, j%trials
+		return measureTargetLatency(secret, jitter, seedBase+uint64(2*i+secret))
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Full slice expressions keep the two arms from aliasing: an append to
+	// Baseline must reallocate rather than clobber Interference[0].
+	res := &Figure7Result{
+		Baseline:     lats[:trials:trials],
+		Interference: lats[trials:],
 	}
 	lo, hi := rangeOf(append(append([]float64{}, res.Baseline...), res.Interference...))
 	res.BaseHist = stats.NewHistogram(lo, hi, 30)

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"specinterference/internal/runner"
 	"specinterference/internal/schemes"
 )
 
@@ -107,21 +109,33 @@ func Classify(schemeName string, g Gadget, ord Ordering) (MatrixCell, error) {
 }
 
 // VulnerabilityMatrix classifies every scheme in schemeNames against every
-// gadget/ordering combination.
+// gadget/ordering combination, one worker per CPU; see
+// VulnerabilityMatrixParallel for the explicit knob.
 func VulnerabilityMatrix(schemeNames []string) ([]MatrixCell, error) {
-	var cells []MatrixCell
-	for _, combo := range Combos() {
+	return VulnerabilityMatrixParallel(context.Background(), schemeNames, 0)
+}
+
+// VulnerabilityMatrixParallel shards the matrix one cell per
+// scheme×gadget×ordering combination across a bounded worker pool. Each
+// Classify builds its own deterministic (seedless) machine, so cell order
+// and contents match the serial loop exactly at any worker count.
+func VulnerabilityMatrixParallel(ctx context.Context, schemeNames []string, workers int) ([]MatrixCell, error) {
+	combos := Combos()
+	if len(schemeNames) == 0 {
+		return nil, nil
+	}
+	n := len(combos) * len(schemeNames)
+	return runner.Map(ctx, n, workers, func(_ context.Context, j int) (MatrixCell, error) {
+		combo := combos[j/len(schemeNames)]
+		name := schemeNames[j%len(schemeNames)]
 		g := combo[0].(Gadget)
 		ord := combo[1].(Ordering)
-		for _, name := range schemeNames {
-			cell, err := Classify(name, g, ord)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s/%s/%s: %w", name, g, ord, err)
-			}
-			cells = append(cells, cell)
+		cell, err := Classify(name, g, ord)
+		if err != nil {
+			return MatrixCell{}, fmt.Errorf("core: %s/%s/%s: %w", name, g, ord, err)
 		}
-	}
-	return cells, nil
+		return cell, nil
+	})
 }
 
 // ExpectedTable1 returns the paper's Table 1 as a map from

@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersClamping(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, shards, want int
+	}{
+		{0, 100, min(maxprocs, 100)},  // default: one per CPU
+		{-3, 100, min(maxprocs, 100)}, // negative means default too
+		{8, 3, 3},                     // never more workers than shards
+		{8, 100, 8},                   // explicit request honoured
+		{1, 100, 1},                   // serial
+		{4, 0, 4},                     // zero shards: no clamp applies
+		{0, 1, 1},                     // one shard: one worker
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.shards); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.shards, got, c.want)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestMapOrderedResults forces out-of-order completion (early shards
+// finish last) and checks results still land at their own index.
+func TestMapOrderedResults(t *testing.T) {
+	const n = 16
+	for _, workers := range []int{1, 2, 4, 16} {
+		got, err := Map(context.Background(), n, workers, func(_ context.Context, i int) (int, error) {
+			time.Sleep(time.Duration(n-i) * time.Millisecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapErrorPropagation checks the first error is returned and cancels
+// the shared context so in-flight shards can abandon their work.
+func TestMapErrorPropagation(t *testing.T) {
+	boom := errors.New("shard 3 exploded")
+	var sawCancel atomic.Bool
+	_, err := Map(context.Background(), 8, 4, func(ctx context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		// Other shards park on the context; without cancellation this
+		// test would deadlock (caught by the test timeout).
+		select {
+		case <-ctx.Done():
+			sawCancel.Store(true)
+			return 0, nil
+		case <-time.After(10 * time.Second):
+			return 0, fmt.Errorf("shard %d never saw cancellation", i)
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Map error = %v, want %v", err, boom)
+	}
+	if !sawCancel.Load() {
+		t.Error("no in-flight shard observed the cancelled context")
+	}
+}
+
+// TestMapStopsDispatchAfterError checks shards are not dispatched once a
+// failure has been observed (the feeder bails out on ctx.Done).
+func TestMapStopsDispatchAfterError(t *testing.T) {
+	var dispatched atomic.Int64
+	boom := errors.New("early failure")
+	_, err := Map(context.Background(), 1000, 2, func(_ context.Context, i int) (int, error) {
+		dispatched.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Map error = %v, want %v", err, boom)
+	}
+	if n := dispatched.Load(); n >= 1000 {
+		t.Errorf("all %d shards dispatched despite early error", n)
+	}
+}
+
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		_, err := Map(ctx, 8, workers, func(_ context.Context, i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if workers == 1 && ran.Load() != 0 {
+			t.Errorf("serial path ran %d shards under a cancelled context", ran.Load())
+		}
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	got, err := Map(context.Background(), 0, 4, func(_ context.Context, i int) (int, error) {
+		t.Error("fn called for zero shards")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Errorf("Map(n=0) = (%v, %v), want (nil, nil)", got, err)
+	}
+	if _, err := Map(context.Background(), -1, 4, func(_ context.Context, i int) (int, error) {
+		return 0, nil
+	}); err == nil {
+		t.Error("Map(n=-1) succeeded, want error")
+	}
+	// nil context is tolerated.
+	res, err := Map(nil, 3, 2, func(_ context.Context, i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatalf("Map(nil ctx): %v", err)
+	}
+	if res[0] != 1 || res[1] != 2 || res[2] != 3 {
+		t.Errorf("Map(nil ctx) results = %v", res)
+	}
+}
+
+// TestMapManyShardsRace hammers the pool with more shards than workers so
+// the race detector (CI runs go test -race) sees real contention on the
+// results slice and dispatch channel.
+func TestMapManyShardsRace(t *testing.T) {
+	const n = 500
+	got, err := Map(context.Background(), n, 8, func(_ context.Context, i int) (uint64, error) {
+		// Simulate seed derivation: pure function of the shard index.
+		return uint64(i)*2654435761 + 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if want := uint64(i)*2654435761 + 1; v != want {
+			t.Fatalf("result[%d] = %d, want %d", i, v, want)
+		}
+	}
+}

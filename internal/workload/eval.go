@@ -1,11 +1,13 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"specinterference/internal/mem"
+	"specinterference/internal/runner"
 	"specinterference/internal/schemes"
 	"specinterference/internal/uarch"
 )
@@ -22,6 +24,10 @@ type EvalConfig struct {
 	// Cores for the machine (Figure 12's system is multi-core; one is
 	// enough since the kernels are single-threaded).
 	Cores int
+	// Workers bounds cell concurrency — one shard per workload×scheme run,
+	// baseline included (0 = one per CPU). Every run builds its own system
+	// and the sweep is seedless, so results match the serial loop exactly.
+	Workers int
 }
 
 // DefaultEvalConfig returns the Figure 12 setup.
@@ -90,8 +96,16 @@ func runOnce(w Workload, policyName string, cfg EvalConfig) (int64, float64, err
 }
 
 // Evaluate runs every kernel under the unsafe baseline and each scheme,
-// producing the Figure 12 table.
+// producing the Figure 12 table. The workload×scheme cells (baseline
+// included) shard across cfg.Workers goroutines; aggregation happens
+// afterwards in the serial loop's order, so sums and geomeans are
+// bit-identical at any worker count.
 func Evaluate(cfg EvalConfig) (*EvalResult, error) {
+	return EvaluateContext(context.Background(), cfg)
+}
+
+// EvaluateContext is Evaluate with cancellation.
+func EvaluateContext(ctx context.Context, cfg EvalConfig) (*EvalResult, error) {
 	if cfg.Iters <= 0 {
 		return nil, fmt.Errorf("workload: iters must be positive")
 	}
@@ -101,29 +115,38 @@ func Evaluate(cfg EvalConfig) (*EvalResult, error) {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 1
 	}
+	// Shard j covers workload j/(1+schemes) under policy j%(1+schemes),
+	// where policy 0 is the unsafe baseline.
+	ws := All()
+	policies := append([]string{"unsafe"}, cfg.Schemes...)
+	type cell struct {
+		cycles int64
+		ipc    float64
+	}
+	cells, err := runner.Map(ctx, len(ws)*len(policies), cfg.Workers,
+		func(_ context.Context, j int) (cell, error) {
+			cycles, ipc, err := runOnce(ws[j/len(policies)], policies[j%len(policies)], cfg)
+			return cell{cycles, ipc}, err
+		})
+	if err != nil {
+		return nil, err
+	}
 	res := &EvalResult{
 		Geomean: map[string]float64{},
 		Mean:    map[string]float64{},
 	}
 	logSum := map[string]float64{}
 	sum := map[string]float64{}
-	for _, w := range All() {
-		base, ipc, err := runOnce(w, "unsafe", cfg)
-		if err != nil {
-			return nil, err
-		}
+	for wi, w := range ws {
+		base := cells[wi*len(policies)]
 		row := EvalRow{
 			Workload:       w.Name,
-			BaselineCycles: base,
-			BaselineIPC:    ipc,
+			BaselineCycles: base.cycles,
+			BaselineIPC:    base.ipc,
 			Slowdown:       map[string]float64{},
 		}
-		for _, s := range cfg.Schemes {
-			cycles, _, err := runOnce(w, s, cfg)
-			if err != nil {
-				return nil, err
-			}
-			sd := float64(cycles) / float64(base)
+		for si, s := range cfg.Schemes {
+			sd := float64(cells[wi*len(policies)+1+si].cycles) / float64(base.cycles)
 			row.Slowdown[s] = sd
 			logSum[s] += math.Log(sd)
 			sum[s] += sd

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// serialEvaluate is the pre-runner serial loop of Evaluate, kept as the
+// golden reference: baseline then schemes per workload, accumulating the
+// mean/geomean sums in that order (float addition order matters for
+// bit-identity).
+func serialEvaluate(t *testing.T, cfg EvalConfig) *EvalResult {
+	t.Helper()
+	res := &EvalResult{
+		Geomean: map[string]float64{},
+		Mean:    map[string]float64{},
+	}
+	logSum := map[string]float64{}
+	sum := map[string]float64{}
+	for _, w := range All() {
+		base, ipc, err := runOnce(w, "unsafe", cfg)
+		if err != nil {
+			t.Fatalf("serial reference: %v", err)
+		}
+		row := EvalRow{
+			Workload:       w.Name,
+			BaselineCycles: base,
+			BaselineIPC:    ipc,
+			Slowdown:       map[string]float64{},
+		}
+		for _, s := range cfg.Schemes {
+			cycles, _, err := runOnce(w, s, cfg)
+			if err != nil {
+				t.Fatalf("serial reference: %v", err)
+			}
+			sd := float64(cycles) / float64(base)
+			row.Slowdown[s] = sd
+			logSum[s] += math.Log(sd)
+			sum[s] += sd
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	n := float64(len(res.Rows))
+	for _, s := range cfg.Schemes {
+		res.Geomean[s] = math.Exp(logSum[s] / n)
+		res.Mean[s] = sum[s] / n
+	}
+	return res
+}
+
+// TestEvaluateParallelMatchesSerial asserts the sharded Figure 12 sweep is
+// bit-identical (rows, means and geomeans) to the serial loop at worker
+// counts 1 and 4.
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	cfg := EvalConfig{Iters: 50, MaxCycles: 5_000_000, Schemes: []string{"fence-spectre"}, Cores: 1}
+	want := serialEvaluate(t, cfg)
+	for _, workers := range []int{1, 4} {
+		cfg.Workers = workers
+		got, err := EvaluateContext(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: Evaluate = %+v, serial = %+v", workers, got, want)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package specinterference
 
 import (
+	"context"
+
 	"specinterference/internal/asm"
 	"specinterference/internal/cache"
 	"specinterference/internal/channel"
@@ -146,6 +148,13 @@ func VulnerabilityMatrix(schemeNames []string) ([]MatrixCell, error) {
 	return core.VulnerabilityMatrix(schemeNames)
 }
 
+// VulnerabilityMatrixParallel is VulnerabilityMatrix with cancellation and
+// an explicit worker count (0 = one per CPU); one shard per
+// scheme×gadget×ordering cell, results identical at any worker count.
+func VulnerabilityMatrixParallel(ctx context.Context, schemeNames []string, workers int) ([]MatrixCell, error) {
+	return core.VulnerabilityMatrixParallel(ctx, schemeNames, workers)
+}
+
 // FormatMatrix renders matrix cells as a Table 1-style text table.
 func FormatMatrix(cells []MatrixCell) string { return core.FormatMatrix(cells) }
 
@@ -157,9 +166,23 @@ func Figure7(trials, jitter int, seed uint64) (*Figure7Result, error) {
 	return core.Figure7(trials, jitter, seed)
 }
 
+// Figure7Parallel is Figure7 with cancellation and an explicit worker
+// count (0 = one per CPU); per-trial seeds depend only on the trial index,
+// so results are bit-identical at any worker count.
+func Figure7Parallel(ctx context.Context, trials, jitter int, seed uint64, workers int) (*Figure7Result, error) {
+	return core.Figure7Parallel(ctx, trials, jitter, seed, workers)
+}
+
 // ChannelCurve measures a Figure 11 error-versus-rate curve for a PoC.
 func ChannelCurve(poc *PoC, repsList []int, bits int, seed uint64) ([]ChannelResult, error) {
 	return channel.Curve(poc, repsList, bits, seed)
+}
+
+// ChannelCurveParallel is ChannelCurve with cancellation and an explicit
+// worker count (0 = one per CPU) fanning out the per-bit trials inside
+// each curve point.
+func ChannelCurveParallel(ctx context.Context, poc *PoC, repsList []int, bits int, seed uint64, workers int) ([]ChannelResult, error) {
+	return channel.CurveParallel(ctx, poc, repsList, bits, seed, workers)
 }
 
 // DCacheFigure11 and ICacheFigure11 return the PoCs at their calibrated
@@ -172,6 +195,13 @@ func ICacheFigure11() *PoC { return channel.ICacheFigure11() }
 // DefenseOverhead runs the Figure 12 sweep: every synthetic kernel under
 // the unsafe baseline and the named defenses.
 func DefenseOverhead(iters int, schemeNames []string) (*EvalResult, error) {
+	return DefenseOverheadParallel(context.Background(), iters, schemeNames, 0)
+}
+
+// DefenseOverheadParallel is DefenseOverhead with cancellation and an
+// explicit worker count (0 = one per CPU); one shard per workload×scheme
+// cell, baseline runs included.
+func DefenseOverheadParallel(ctx context.Context, iters int, schemeNames []string, workers int) (*EvalResult, error) {
 	cfg := workload.DefaultEvalConfig()
 	if iters > 0 {
 		cfg.Iters = iters
@@ -179,7 +209,8 @@ func DefenseOverhead(iters int, schemeNames []string) (*EvalResult, error) {
 	if len(schemeNames) > 0 {
 		cfg.Schemes = schemeNames
 	}
-	return workload.Evaluate(cfg)
+	cfg.Workers = workers
+	return workload.EvaluateContext(ctx, cfg)
 }
 
 // CheckIdealInvisibleSpeculation verifies the §5.1 definition for a
