@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	covertbench [-poc dcache|icache|both] [-bits 64] [-reps 1,3,5,9,15] [-parallel N] [-json]
+//	covertbench [-poc dcache|icache|both] [-bits 64] [-reps 1,3,5,9,15] [-parallel N] [-json] [-store DIR]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	si "specinterference"
 )
@@ -46,8 +47,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "measurement seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = one per CPU); trials shard per bit×rep, results identical at any value")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text curves")
+	storeDir := flag.String("store", "", "append a run record to this results-store directory")
 	flag.Parse()
 
+	if *poc != "dcache" && *poc != "icache" && *poc != "both" {
+		fmt.Fprintf(os.Stderr, "covertbench: bad -poc value %q (want dcache, icache or both)\n", *poc)
+		os.Exit(1)
+	}
 	var reps []int
 	for _, s := range strings.Split(*repsFlag, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
@@ -59,12 +65,15 @@ func main() {
 	}
 
 	var curves []jsonCurve
+	var measured []si.ChannelCurveInput
+	start := time.Now()
 	run := func(display, name string, p *si.PoC) {
 		results, err := si.ChannelCurveParallel(context.Background(), p, reps, *bits, *seed, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "covertbench:", err)
 			os.Exit(1)
 		}
+		measured = append(measured, si.ChannelCurveInput{PoC: name, Scheme: p.SchemeName, Points: results})
 		if *jsonOut {
 			c := jsonCurve{PoC: name, Scheme: p.SchemeName, Seed: *seed}
 			for _, r := range results {
@@ -87,6 +96,15 @@ func main() {
 	}
 	if *poc == "icache" || *poc == "both" {
 		run("I-Cache", "icache", si.ICacheFigure11())
+	}
+	if *storeDir != "" {
+		rec, err := si.NewFigure11Record(measured, *bits, reps, *seed)
+		notice, err := si.RecordRunNotice(*storeDir, rec, err, *parallel, start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "covertbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, notice)
 	}
 	if *jsonOut {
 		if err := json.NewEncoder(os.Stdout).Encode(curves); err != nil {

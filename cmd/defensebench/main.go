@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	defensebench [-iters 2000] [-schemes fence-spectre,fence-futuristic] [-parallel N] [-json]
+//	defensebench [-iters 2000] [-schemes fence-spectre,fence-futuristic] [-parallel N] [-json] [-store DIR]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	si "specinterference"
 )
@@ -32,13 +33,30 @@ func main() {
 		"comma-separated defense list")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = one per CPU); one shard per workload×scheme cell, results identical at any value")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
+	storeDir := flag.String("store", "", "append a run record to this results-store directory")
 	flag.Parse()
 
+	if *iters < 1 {
+		// The facade substitutes its default for iters<=0; a record
+		// stamped with the raw flag would then misrepresent the run.
+		fmt.Fprintf(os.Stderr, "defensebench: -iters must be >= 1, got %d\n", *iters)
+		os.Exit(1)
+	}
 	names := strings.Split(*schemesFlag, ",")
+	start := time.Now()
 	res, err := si.DefenseOverheadParallel(context.Background(), *iters, names, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "defensebench:", err)
 		os.Exit(1)
+	}
+	if *storeDir != "" {
+		rec, err := si.NewFigure12Record(res, *iters, names)
+		notice, err := si.RecordRunNotice(*storeDir, rec, err, *parallel, start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "defensebench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, notice)
 	}
 	if *jsonOut {
 		out := struct {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	interference [-trials 500] [-jitter 30] [-parallel N] [-json]
+//	interference [-trials 500] [-jitter 30] [-parallel N] [-json] [-store DIR]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	si "specinterference"
 )
@@ -24,12 +25,23 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = one per CPU); results are identical at any value")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the histograms")
+	storeDir := flag.String("store", "", "append a run record to this results-store directory")
 	flag.Parse()
 
+	start := time.Now()
 	res, err := si.Figure7Parallel(context.Background(), *trials, *jitter, *seed, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "interference:", err)
 		os.Exit(1)
+	}
+	if *storeDir != "" {
+		rec, err := si.NewFigure7Record(res, *trials, *jitter, *seed)
+		notice, err := si.RecordRunNotice(*storeDir, rec, err, *parallel, start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "interference:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, notice)
 	}
 	if *jsonOut {
 		out := struct {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	vulnmatrix [-schemes dom,invisispec-spectre,...] [-verify] [-parallel N] [-json]
+//	vulnmatrix [-schemes dom,invisispec-spectre,...] [-verify] [-parallel N] [-json] [-store DIR]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	si "specinterference"
 )
@@ -33,16 +34,27 @@ func main() {
 	verify := flag.Bool("verify", false, "compare against the paper's Table 1 and exit non-zero on mismatch")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = one per CPU); one shard per matrix cell, results identical at any value")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
+	storeDir := flag.String("store", "", "append a run record to this results-store directory")
 	flag.Parse()
 
 	names := si.SchemeNames()
 	if *schemesFlag != "" {
 		names = strings.Split(*schemesFlag, ",")
 	}
+	start := time.Now()
 	cells, err := si.VulnerabilityMatrixParallel(context.Background(), names, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vulnmatrix:", err)
 		os.Exit(1)
+	}
+	if *storeDir != "" {
+		rec, err := si.NewTable1Record(cells, names)
+		notice, err := si.RecordRunNotice(*storeDir, rec, err, *parallel, start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vulnmatrix:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, notice)
 	}
 	if *jsonOut {
 		out := make([]jsonCell, 0, len(cells))

@@ -49,8 +49,39 @@
 // internal/core, internal/channel and internal/workload pin the serial
 // reference loops as goldens.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-versus-measured results. The root package is a
-// facade over the internal packages; the cmd/ tools and examples/ programs
-// show it in use.
+// # Results store and regression tracking
+//
+// Every experiment's output can persist as a run record: the experiment
+// name, its parameters (trial counts, seeds, scheme lists), volatile
+// metadata (git revision, worker count, wall time) and the full payload —
+// per-arm Figure 7 latencies, every Table 1 matrix cell, each Figure 11
+// curve point, the Figure 12 slowdown table. Records append as JSONL
+// under a store directory (one file per experiment, newest last) via the
+// -store flag on vulnmatrix, covertbench, defensebench and interference,
+// or programmatically through OpenResultStore and the record
+// constructors (NewFigure7Record, NewTable1Record, NewFigure11Record,
+// NewFigure12Record).
+//
+// Each record carries a canonical SHA-256 signature over its parameters
+// and payload; metadata is excluded, so two runs of the same experiment
+// at the same parameters hash identically no matter the worker count,
+// machine or commit that produced them. DiffRunRecords classifies any
+// change between two comparable records as identical (signatures match),
+// drift (numbers moved within thresholds), or regression (a Table 1 cell
+// flipped vulnerable↔protected, a channel's error rate rose beyond
+// threshold, the Figure 7 separation collapsed, or a defense slowdown
+// shifted wholesale); records at different parameters are incomparable.
+//
+// The resultstore CLI drives the store: list and show browse history,
+// diff classifies two records (exit non-zero on regression), check
+// reruns every experiment at the committed baseline's parameters and
+// fails on any regression-class change — the CI gate — and baseline
+// (re)writes the small-trial baseline records committed under
+// internal/results/testdata/baseline. Golden-file tests in
+// internal/results additionally pin the canonical encodings byte-for-
+// byte (regenerate both with go test ./internal/results -update).
+//
+// See README.md for a tour. The root package is a facade over the
+// internal packages; the cmd/ tools and examples/ programs show it in
+// use.
 package specinterference

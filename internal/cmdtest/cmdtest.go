@@ -5,6 +5,7 @@ package cmdtest
 
 import (
 	"bytes"
+	"errors"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -15,6 +16,36 @@ import (
 // with args (feeding stdin when non-empty), and returns stdout. Any build
 // failure, non-zero exit or empty stdout fails the test.
 func Run(t *testing.T, stdin string, args ...string) string {
+	t.Helper()
+	stdout, stderr, err := run(t, stdin, args...)
+	if err != nil {
+		t.Fatalf("%s: %v", strings.Join(args, " "), err)
+	}
+	if stdout == "" {
+		t.Fatalf("%s produced no output (stderr: %s)", strings.Join(args, " "), stderr)
+	}
+	return stdout
+}
+
+// RunFail is Run for invocations that must exit non-zero (regression
+// gates, validation errors). It fails the test when the command succeeds,
+// and returns the combined stdout+stderr for assertions on diagnostics.
+func RunFail(t *testing.T, stdin string, args ...string) string {
+	t.Helper()
+	stdout, stderr, err := run(t, stdin, args...)
+	if err == nil {
+		t.Fatalf("%s exited zero, want failure\nstdout: %s", strings.Join(args, " "), stdout)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("%s did not run: %v", strings.Join(args, " "), err)
+	}
+	return stdout + stderr
+}
+
+// run builds the main package in the test's working directory and executes
+// it, returning stdout, stderr and the exit error (nil on success).
+func run(t *testing.T, stdin string, args ...string) (string, string, error) {
 	t.Helper()
 	goBin, err := exec.LookPath("go")
 	if err != nil {
@@ -33,11 +64,23 @@ func Run(t *testing.T, stdin string, args ...string) string {
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
-	if err := cmd.Run(); err != nil {
-		t.Fatalf("%s %s: %v\nstderr: %s", filepath.Base(bin), strings.Join(args, " "), err, stderr.String())
+	err = cmd.Run()
+	if err != nil {
+		err = &runError{args: args, err: err, stderr: stderr.String()}
 	}
-	if stdout.Len() == 0 {
-		t.Fatalf("%s produced no output (stderr: %s)", strings.Join(args, " "), stderr.String())
-	}
-	return stdout.String()
+	return stdout.String(), stderr.String(), err
 }
+
+// runError decorates a command failure with its stderr.
+type runError struct {
+	args   []string
+	err    error
+	stderr string
+}
+
+func (e *runError) Error() string {
+	return strings.Join(e.args, " ") + ": " + e.err.Error() + "\nstderr: " + e.stderr
+}
+
+// Unwrap exposes the underlying exec error to errors.As callers.
+func (e *runError) Unwrap() error { return e.err }

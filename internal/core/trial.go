@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"specinterference/internal/asm"
 	"specinterference/internal/cache"
@@ -89,9 +91,65 @@ type recordSink struct{ recs []uarch.InstRecord }
 
 func (r *recordSink) Record(_ int, rec uarch.InstRecord) { r.recs = append(r.recs, rec) }
 
+// victimKey identifies one assembled victim program. The layout is part
+// of the key because config tweaks can move the eviction-set-derived
+// addresses; everything in it is a comparable value type.
+type victimKey struct {
+	gadget   Gadget
+	ordering Ordering
+	layout   Layout
+	params   VictimParams
+}
+
+// victimCache memoizes BuildVictim across trials: batch harnesses (the
+// Figure 7 arms, the matrix, the channel curves) run thousands of trials
+// over a handful of distinct (gadget, ordering, layout, params) tuples,
+// and the assembled program is immutable once built — the pipeline only
+// reads it, and the harness keys its per-trial state off the System, not
+// the Victim. Safe for concurrent shards.
+var victimCache sync.Map // victimKey -> *Victim
+
+var victimCacheHits, victimCacheMisses atomic.Uint64
+
+// cachedVictim returns the memoized victim for a key, building and
+// publishing it on first use. Concurrent first uses may both build; the
+// builder is deterministic, so either result is the same program.
+func cachedVictim(g Gadget, ord Ordering, l Layout, p VictimParams) (*Victim, error) {
+	key := victimKey{gadget: g, ordering: ord, layout: l, params: p}
+	if v, ok := victimCache.Load(key); ok {
+		victimCacheHits.Add(1)
+		return v.(*Victim), nil
+	}
+	victimCacheMisses.Add(1)
+	v, err := BuildVictim(g, ord, l, p)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := victimCache.LoadOrStore(key, v)
+	return actual.(*Victim), nil
+}
+
+// VictimCacheStats reports victim-program cache hits and misses since
+// process start (diagnostics for the batch-trial fast path).
+func VictimCacheStats() (hits, misses uint64) {
+	return victimCacheHits.Load(), victimCacheMisses.Load()
+}
+
+// resetVictimCache empties the cache and its counters (tests only).
+func resetVictimCache() {
+	victimCache.Range(func(k, _ interface{}) bool {
+		victimCache.Delete(k)
+		return true
+	})
+	victimCacheHits.Store(0)
+	victimCacheMisses.Store(0)
+}
+
 // NewAttackSystem builds the two-core system, layout and victim for a
 // spec, fully primed and trained but not yet run. Exposed for receivers
-// and tests that orchestrate phases themselves.
+// and tests that orchestrate phases themselves. The assembled victim
+// program is cached per (gadget, ordering, layout, params) and shared
+// across trials; see victimCache.
 func NewAttackSystem(spec TrialSpec) (*uarch.System, Layout, *Victim, error) {
 	cfg := AttackConfig()
 	cfg.Cache.MemJitter = spec.Jitter
@@ -108,7 +166,7 @@ func NewAttackSystem(spec TrialSpec) (*uarch.System, Layout, *Victim, error) {
 	}
 	h := sys.Hierarchy()
 	l := DefaultLayout(h)
-	v, err := BuildVictim(spec.Gadget, spec.Ordering, l, spec.params())
+	v, err := cachedVictim(spec.Gadget, spec.Ordering, l, spec.params())
 	if err != nil {
 		return nil, Layout{}, nil, err
 	}

@@ -1,0 +1,143 @@
+package results
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files and the committed regression
+// baseline instead of asserting against them:
+//
+//	go test ./internal/results -run 'TestGolden|TestBaseline' -update
+var update = flag.Bool("update", false, "rewrite golden files and the committed baseline")
+
+// goldenPath returns testdata/<experiment>.golden.json.
+func goldenPath(experiment string) string {
+	return filepath.Join("testdata", experiment+".golden.json")
+}
+
+// baselineDir is the committed baseline store the CI `resultstore check`
+// step gates against.
+const baselineDir = "testdata/baseline"
+
+// goldenBytes renders a record the way the golden files store it: the
+// canonical (signature-covered) view, pretty-printed for reviewable
+// diffs, trailing newline included.
+func goldenBytes(t *testing.T, rec *Record) []byte {
+	t.Helper()
+	canonical, err := rec.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, canonical, "", "  "); err != nil {
+		t.Fatal(err)
+	}
+	pretty.WriteByte('\n')
+	return pretty.Bytes()
+}
+
+// testGolden regenerates one experiment at the committed baseline
+// parameters and asserts its canonical encoding is byte-identical to the
+// golden file (or rewrites the golden under -update).
+func testGolden(t *testing.T, experiment string) {
+	params, err := BaselineParams(experiment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Regenerate(context.Background(), experiment, params, 0)
+	if err != nil {
+		t.Fatalf("Regenerate(%s): %v", experiment, err)
+	}
+	got := goldenBytes(t, rec)
+	path := goldenPath(experiment)
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes, %.12s)", path, len(got), rec.Hash)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s output diverged from its golden file.\n"+
+			"If the change is intentional, regenerate with:\n"+
+			"  go test ./internal/results -run TestGolden -update\ngot:\n%swant:\n%s",
+			experiment, got, want)
+	}
+}
+
+func TestGoldenFigure7(t *testing.T)  { testGolden(t, ExpFigure7) }
+func TestGoldenTable1(t *testing.T)   { testGolden(t, ExpTable1) }
+func TestGoldenFigure11(t *testing.T) { testGolden(t, ExpFigure11) }
+func TestGoldenFigure12(t *testing.T) { testGolden(t, ExpFigure12) }
+
+// TestBaselineCurrent mirrors the CI `resultstore check` gate in-process:
+// every committed baseline record must diff as identical against a fresh
+// run of its experiment at its recorded parameters. Under -update the
+// baseline is rewritten instead (volatile metadata kept empty so the
+// committed files stay deterministic).
+func TestBaselineCurrent(t *testing.T) {
+	if *update {
+		store, err := Open(baselineDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, exp := range Experiments() {
+			params, err := BaselineParams(exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, err := Regenerate(context.Background(), exp, params, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec.Meta = Meta{Note: "baseline"}
+			if err := store.Replace(rec); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (%.12s)", store.path(exp), rec.Hash)
+		}
+		return
+	}
+
+	store, err := Open(baselineDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps, err := store.Experiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != len(Experiments()) {
+		t.Fatalf("baseline holds %v, want all of %v (regenerate with -update)", exps, Experiments())
+	}
+	for _, exp := range exps {
+		ref, err := store.Latest(exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Regenerate(context.Background(), exp, ref.Params, 0)
+		if err != nil {
+			t.Fatalf("Regenerate(%s): %v", exp, err)
+		}
+		if d := Diff(ref, fresh); d.Class != Identical {
+			t.Errorf("%s diverged from the committed baseline (class %s):\n%s"+
+				"If intentional, regenerate with:\n"+
+				"  go test ./internal/results -run TestBaseline -update",
+				exp, d.Class, d.Format())
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package results is the persistent results store: every experiment
+// harness (the Figure 7 histogram, the Table 1 vulnerability matrix, the
+// Figure 11 channel curves and the Figure 12 defense-overhead sweep) can
+// persist its output as a Record — the experiment's parameters, volatile
+// run metadata (git revision, worker count, wall time) and the full
+// payload — into an append-only JSONL store for cross-run comparison and
+// regression tracking.
+//
+// Two runs are comparable when their experiment and parameters match;
+// volatile metadata (worker count included — results are bit-identical at
+// any worker count by construction) never affects comparison. Each record
+// carries a canonical SHA-256 signature of its parameters and payload, so
+// "nothing changed" is a hash comparison; when hashes differ, Diff
+// classifies the change as statistical drift or a regression (a matrix
+// cell flipping vulnerable↔protected, channel accuracy collapsing, the
+// interference separation disappearing, or defense overheads shifting
+// beyond thresholds).
+package results
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"specinterference/internal/channel"
+	"specinterference/internal/core"
+	"specinterference/internal/workload"
+)
+
+// SchemaVersion is bumped whenever Record's canonical encoding changes
+// incompatibly; records with a different schema are incomparable.
+const SchemaVersion = 1
+
+// Experiment names. One Record holds exactly one experiment's payload.
+const (
+	// ExpFigure7 is the §4.2.1 interference-contention histogram.
+	ExpFigure7 = "figure7"
+	// ExpTable1 is the scheme × gadget × ordering vulnerability matrix.
+	ExpTable1 = "table1"
+	// ExpFigure11 is the covert-channel error-versus-rate curves.
+	ExpFigure11 = "figure11"
+	// ExpFigure12 is the defense-overhead sweep.
+	ExpFigure12 = "figure12"
+)
+
+// Experiments lists every experiment name in canonical order.
+func Experiments() []string {
+	return []string{ExpFigure7, ExpTable1, ExpFigure11, ExpFigure12}
+}
+
+// Params are the experiment parameters that define comparability: two
+// records are comparable only when their Params are equal. Fields are
+// per-experiment; unused ones stay zero and are omitted from the JSON.
+type Params struct {
+	// Trials is the per-arm trial count (figure7).
+	Trials int `json:"trials,omitempty"`
+	// Jitter is the DRAM latency jitter in cycles (figure7).
+	Jitter int `json:"jitter,omitempty"`
+	// Seed is the measurement seed (figure7, figure11).
+	Seed uint64 `json:"seed,omitempty"`
+	// Schemes lists scheme names (table1, figure12).
+	Schemes []string `json:"schemes,omitempty"`
+	// PoCs lists PoC names, "dcache"/"icache" (figure11).
+	PoCs []string `json:"pocs,omitempty"`
+	// Bits is the number of random bits per curve point (figure11).
+	Bits int `json:"bits,omitempty"`
+	// Reps is the repetitions-per-bit sweep (figure11).
+	Reps []int `json:"reps,omitempty"`
+	// Iters is the per-kernel loop count (figure12).
+	Iters int `json:"iters,omitempty"`
+}
+
+// Meta is volatile run metadata: recorded for provenance, excluded from
+// the canonical signature, never part of comparability.
+type Meta struct {
+	// CreatedAt is the record's creation time, RFC 3339.
+	CreatedAt string `json:"created_at,omitempty"`
+	// GitRev is the source revision the run was built from.
+	GitRev string `json:"git_rev,omitempty"`
+	// Workers is the worker-goroutine count the run used (0 = one per
+	// CPU). Results are bit-identical at any value, hence metadata.
+	Workers int `json:"workers,omitempty"`
+	// WallMillis is the run's wall-clock duration in milliseconds.
+	WallMillis int64 `json:"wall_ms,omitempty"`
+	// Note is a free-form annotation ("baseline", ticket numbers, ...).
+	Note string `json:"note,omitempty"`
+}
+
+// Figure7Payload is the full per-arm data behind the Figure 7 histogram.
+type Figure7Payload struct {
+	// Baseline and Interference are the per-trial target latencies; the
+	// histograms are derived views, so the raw arms are what persist.
+	Baseline     []float64 `json:"baseline"`
+	Interference []float64 `json:"interference"`
+	// Separation is the difference of the arm means (cycles).
+	Separation float64 `json:"separation"`
+	// Overlap is the overlap coefficient of the two arm histograms.
+	Overlap float64 `json:"overlap"`
+}
+
+// Table1Cell is one vulnerability-matrix entry.
+type Table1Cell struct {
+	Scheme     string `json:"scheme"`
+	Gadget     string `json:"gadget"`
+	Ordering   string `json:"ordering"`
+	Vulnerable bool   `json:"vulnerable"`
+	RefCycle   int64  `json:"ref_cycle,omitempty"`
+}
+
+// Table1Payload is the full vulnerability matrix.
+type Table1Payload struct {
+	Cells []Table1Cell `json:"cells"`
+}
+
+// CurvePoint is one error-versus-rate measurement.
+type CurvePoint struct {
+	Reps         int     `json:"reps"`
+	Bits         int     `json:"bits"`
+	Errors       int     `json:"errors"`
+	Dropped      int     `json:"dropped"`
+	ErrorRate    float64 `json:"error_rate"`
+	CyclesPerBit float64 `json:"cycles_per_bit"`
+	Bps          float64 `json:"bps"`
+}
+
+// Figure11Curve is one PoC's Figure 11 curve.
+type Figure11Curve struct {
+	PoC    string       `json:"poc"`
+	Scheme string       `json:"scheme"`
+	Points []CurvePoint `json:"points"`
+}
+
+// Figure11Payload holds every measured curve.
+type Figure11Payload struct {
+	Curves []Figure11Curve `json:"curves"`
+}
+
+// Figure12Row is one workload's normalized execution times.
+type Figure12Row struct {
+	Workload       string             `json:"workload"`
+	BaselineCycles int64              `json:"baseline_cycles"`
+	BaselineIPC    float64            `json:"baseline_ipc"`
+	Slowdown       map[string]float64 `json:"slowdown"`
+}
+
+// Figure12Payload is the full defense-overhead table.
+type Figure12Payload struct {
+	Rows    []Figure12Row      `json:"rows"`
+	Mean    map[string]float64 `json:"mean"`
+	Geomean map[string]float64 `json:"geomean"`
+}
+
+// Record is one persisted experiment run. Exactly one payload pointer is
+// non-nil, matching Experiment.
+type Record struct {
+	Schema     int    `json:"schema"`
+	Experiment string `json:"experiment"`
+	Params     Params `json:"params"`
+	Meta       Meta   `json:"meta"`
+	// Hash is the canonical SHA-256 signature of (schema, experiment,
+	// params, payload); see ComputeHash.
+	Hash string `json:"hash"`
+
+	Figure7  *Figure7Payload  `json:"figure7,omitempty"`
+	Table1   *Table1Payload   `json:"table1,omitempty"`
+	Figure11 *Figure11Payload `json:"figure11,omitempty"`
+	Figure12 *Figure12Payload `json:"figure12,omitempty"`
+}
+
+// canonicalView is what the signature covers: everything that defines the
+// run's outcome, nothing volatile (Meta, and the Hash itself).
+type canonicalView struct {
+	Schema     int              `json:"schema"`
+	Experiment string           `json:"experiment"`
+	Params     Params           `json:"params"`
+	Figure7    *Figure7Payload  `json:"figure7,omitempty"`
+	Table1     *Table1Payload   `json:"table1,omitempty"`
+	Figure11   *Figure11Payload `json:"figure11,omitempty"`
+	Figure12   *Figure12Payload `json:"figure12,omitempty"`
+}
+
+// CanonicalJSON renders the signature-covered view of the record. The
+// encoding is deterministic: encoding/json emits struct fields in
+// declaration order, map keys sorted, and floats in shortest round-trip
+// form.
+func (r *Record) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(canonicalView{
+		Schema: r.Schema, Experiment: r.Experiment, Params: r.Params,
+		Figure7: r.Figure7, Table1: r.Table1,
+		Figure11: r.Figure11, Figure12: r.Figure12,
+	})
+}
+
+// ComputeHash returns the canonical SHA-256 signature of the record.
+func (r *Record) ComputeHash() (string, error) {
+	b, err := r.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// seal stamps Schema and Hash; every constructor ends with it.
+func (r *Record) seal() (*Record, error) {
+	r.Schema = SchemaVersion
+	h, err := r.ComputeHash()
+	if err != nil {
+		return nil, err
+	}
+	r.Hash = h
+	return r, nil
+}
+
+// Validate checks structural consistency: a known experiment, exactly the
+// matching payload present, and (when set) a hash matching the canonical
+// signature.
+func (r *Record) Validate() error {
+	var want int
+	for _, p := range []struct {
+		name    string
+		present bool
+	}{
+		{ExpFigure7, r.Figure7 != nil},
+		{ExpTable1, r.Table1 != nil},
+		{ExpFigure11, r.Figure11 != nil},
+		{ExpFigure12, r.Figure12 != nil},
+	} {
+		if p.present {
+			want++
+			if p.name != r.Experiment {
+				return fmt.Errorf("results: record %q carries a %s payload", r.Experiment, p.name)
+			}
+		}
+	}
+	if want != 1 {
+		return fmt.Errorf("results: record %q must carry exactly one payload, has %d", r.Experiment, want)
+	}
+	if r.Hash != "" {
+		h, err := r.ComputeHash()
+		if err != nil {
+			return err
+		}
+		if h != r.Hash {
+			return fmt.Errorf("results: record %q hash mismatch: stored %.12s, canonical %.12s", r.Experiment, r.Hash, h)
+		}
+	}
+	return nil
+}
+
+// Stamp fills the volatile metadata of a freshly built record: creation
+// time, git revision, worker count and wall time. The hash is unaffected.
+func (r *Record) Stamp(workers int, wall time.Duration) {
+	r.Meta.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	r.Meta.GitRev = GitRevision()
+	r.Meta.Workers = workers
+	r.Meta.WallMillis = wall.Milliseconds()
+}
+
+// NewFigure7Record wraps a Figure 7 measurement.
+func NewFigure7Record(res *core.Figure7Result, trials, jitter int, seed uint64) (*Record, error) {
+	r := &Record{
+		Experiment: ExpFigure7,
+		Params:     Params{Trials: trials, Jitter: jitter, Seed: seed},
+		Figure7: &Figure7Payload{
+			Baseline:     res.Baseline,
+			Interference: res.Interference,
+			Separation:   res.Separation,
+			Overlap:      res.Overlap,
+		},
+	}
+	return r.seal()
+}
+
+// NewTable1Record wraps a vulnerability-matrix run.
+func NewTable1Record(cells []core.MatrixCell, schemeNames []string) (*Record, error) {
+	p := &Table1Payload{Cells: make([]Table1Cell, 0, len(cells))}
+	for _, c := range cells {
+		p.Cells = append(p.Cells, Table1Cell{
+			Scheme: c.Scheme, Gadget: c.Gadget.String(), Ordering: c.Ordering.String(),
+			Vulnerable: c.Vulnerable, RefCycle: c.RefCycle,
+		})
+	}
+	r := &Record{
+		Experiment: ExpTable1,
+		Params:     Params{Schemes: append([]string(nil), schemeNames...)},
+		Table1:     p,
+	}
+	return r.seal()
+}
+
+// CurveInput names one measured Figure 11 curve for NewFigure11Record.
+type CurveInput struct {
+	// PoC is "dcache" or "icache".
+	PoC string
+	// Scheme is the victim scheme the PoC attacked.
+	Scheme string
+	// Points is the measured error-versus-rate sweep.
+	Points []channel.Result
+}
+
+// NewFigure11Record wraps a set of channel curves measured with the given
+// bits/reps/seed parameters.
+func NewFigure11Record(curves []CurveInput, bits int, reps []int, seed uint64) (*Record, error) {
+	p := &Figure11Payload{}
+	pocs := make([]string, 0, len(curves))
+	for _, in := range curves {
+		pocs = append(pocs, in.PoC)
+		c := Figure11Curve{PoC: in.PoC, Scheme: in.Scheme}
+		for _, pt := range in.Points {
+			c.Points = append(c.Points, CurvePoint{
+				Reps: pt.Reps, Bits: pt.Bits, Errors: pt.Errors, Dropped: pt.Dropped,
+				ErrorRate: pt.ErrorRate, CyclesPerBit: pt.CyclesPerBit, Bps: pt.Bps,
+			})
+		}
+		p.Curves = append(p.Curves, c)
+	}
+	r := &Record{
+		Experiment: ExpFigure11,
+		Params: Params{
+			PoCs: pocs, Bits: bits,
+			Reps: append([]int(nil), reps...), Seed: seed,
+		},
+		Figure11: p,
+	}
+	return r.seal()
+}
+
+// NewFigure12Record wraps a defense-overhead sweep.
+func NewFigure12Record(res *workload.EvalResult, iters int, schemeNames []string) (*Record, error) {
+	p := &Figure12Payload{Mean: res.Mean, Geomean: res.Geomean}
+	for _, row := range res.Rows {
+		p.Rows = append(p.Rows, Figure12Row{
+			Workload: row.Workload, BaselineCycles: row.BaselineCycles,
+			BaselineIPC: row.BaselineIPC, Slowdown: row.Slowdown,
+		})
+	}
+	r := &Record{
+		Experiment: ExpFigure12,
+		Params:     Params{Iters: iters, Schemes: append([]string(nil), schemeNames...)},
+		Figure12:   p,
+	}
+	return r.seal()
+}

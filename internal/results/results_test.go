@@ -1,0 +1,315 @@
+package results
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// smallTable1Params is a two-scheme matrix: enough to exercise every
+// gadget/ordering combination while keeping unit tests fast.
+func smallTable1Params() Params {
+	return Params{Schemes: []string{"unsafe", "fence-spectre"}}
+}
+
+func mustRegen(t *testing.T, exp string, p Params, workers int) *Record {
+	t.Helper()
+	rec, err := Regenerate(context.Background(), exp, p, workers)
+	if err != nil {
+		t.Fatalf("Regenerate(%s): %v", exp, err)
+	}
+	return rec
+}
+
+func TestRecordValidate(t *testing.T) {
+	rec := mustRegen(t, ExpTable1, smallTable1Params(), 0)
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("fresh record invalid: %v", err)
+	}
+
+	twoPayloads := *rec
+	twoPayloads.Figure7 = &Figure7Payload{}
+	if err := twoPayloads.Validate(); err == nil {
+		t.Fatal("record with two payloads passed validation")
+	}
+
+	wrongName := *rec
+	wrongName.Experiment = ExpFigure7
+	if err := wrongName.Validate(); err == nil {
+		t.Fatal("record with mismatched experiment/payload passed validation")
+	}
+
+	tampered := *rec
+	cells := append([]Table1Cell(nil), rec.Table1.Cells...)
+	cells[0].Vulnerable = !cells[0].Vulnerable
+	tampered.Table1 = &Table1Payload{Cells: cells}
+	if err := tampered.Validate(); err == nil {
+		t.Fatal("tampered payload passed hash validation")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := mustRegen(t, ExpTable1, smallTable1Params(), 0)
+	rec.Stamp(2, 5*time.Millisecond)
+	if err := s.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	second := mustRegen(t, ExpTable1, smallTable1Params(), 0)
+	second.Meta.Note = "second"
+	if err := s.Append(second); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := s.Load(ExpTable1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("loaded %d records, want 2", len(recs))
+	}
+	if recs[0].Meta.Workers != 2 || recs[0].Meta.GitRev == "" {
+		t.Fatalf("first record lost its metadata: %+v", recs[0].Meta)
+	}
+	latest, err := s.Latest(ExpTable1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Meta.Note != "second" {
+		t.Fatalf("Latest returned the wrong record: %+v", latest.Meta)
+	}
+	oldest, err := s.At(ExpTable1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldest.Meta.Note == "second" {
+		t.Fatal("At(0) returned the newest record")
+	}
+	if _, err := s.At(ExpTable1, 5); err == nil {
+		t.Fatal("out-of-range index succeeded")
+	}
+	if _, err := s.Latest(ExpFigure7); err == nil {
+		t.Fatal("Latest on empty history succeeded")
+	}
+	exps, err := s.Experiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 1 || exps[0] != ExpTable1 {
+		t.Fatalf("Experiments() = %v, want [table1]", exps)
+	}
+}
+
+func TestParseRef(t *testing.T) {
+	for _, tc := range []struct {
+		ref  string
+		exp  string
+		idx  int
+		fail bool
+	}{
+		{ref: "table1", exp: ExpTable1, idx: -1},
+		{ref: "figure7@0", exp: ExpFigure7, idx: 0},
+		{ref: "figure11@-2", exp: ExpFigure11, idx: -2},
+		{ref: "nonsense", fail: true},
+		{ref: "table1@x", fail: true},
+		{ref: "table1@1junk", fail: true},
+	} {
+		exp, idx, err := ParseRef(tc.ref)
+		if tc.fail {
+			if err == nil {
+				t.Errorf("ParseRef(%q) succeeded, want error", tc.ref)
+			}
+			continue
+		}
+		if err != nil || exp != tc.exp || idx != tc.idx {
+			t.Errorf("ParseRef(%q) = (%q, %d, %v), want (%q, %d)", tc.ref, exp, idx, err, tc.exp, tc.idx)
+		}
+	}
+}
+
+// TestDiffWorkerCountIdentical is the store's core guarantee: the same
+// experiment at the same parameters is bit-identical at any worker count,
+// so records produced serially and in parallel diff as identical.
+func TestDiffWorkerCountIdentical(t *testing.T) {
+	serial := mustRegen(t, ExpTable1, smallTable1Params(), 1)
+	serial.Stamp(1, time.Second)
+	parallel := mustRegen(t, ExpTable1, smallTable1Params(), 4)
+	parallel.Stamp(4, time.Millisecond)
+
+	if serial.Hash != parallel.Hash {
+		t.Fatalf("hashes differ across worker counts: %.12s vs %.12s", serial.Hash, parallel.Hash)
+	}
+	d := Diff(serial, parallel)
+	if d.Class != Identical || len(d.Findings) != 0 {
+		t.Fatalf("diff across worker counts = %s %v, want identical", d.Class, d.Findings)
+	}
+
+	f7a := mustRegen(t, ExpFigure7, Params{Trials: 4, Jitter: 10, Seed: 1}, 1)
+	f7b := mustRegen(t, ExpFigure7, Params{Trials: 4, Jitter: 10, Seed: 1}, 3)
+	if d := Diff(f7a, f7b); d.Class != Identical {
+		t.Fatalf("figure7 diff across worker counts = %s %v, want identical", d.Class, d.Findings)
+	}
+}
+
+// TestDiffMatrixFlipRegression: flipping one (gadget, scheme) cell
+// vulnerable↔protected must classify as a regression.
+func TestDiffMatrixFlipRegression(t *testing.T) {
+	old := mustRegen(t, ExpTable1, smallTable1Params(), 0)
+
+	flipped := *old
+	cells := append([]Table1Cell(nil), old.Table1.Cells...)
+	cells[0].Vulnerable = !cells[0].Vulnerable
+	flipped.Table1 = &Table1Payload{Cells: cells}
+	if _, err := (&flipped).seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	d := Diff(old, &flipped)
+	if d.Class != Regression {
+		t.Fatalf("diff after cell flip = %s %v, want regression", d.Class, d.Findings)
+	}
+	if len(d.Findings) != 1 || d.Findings[0].Class != Regression {
+		t.Fatalf("want exactly one regression finding, got %v", d.Findings)
+	}
+}
+
+func TestDiffIncomparable(t *testing.T) {
+	table := mustRegen(t, ExpTable1, smallTable1Params(), 0)
+	figure := mustRegen(t, ExpFigure7, Params{Trials: 4, Jitter: 10, Seed: 1}, 0)
+	if d := Diff(table, figure); d.Class != Incomparable {
+		t.Fatalf("cross-experiment diff = %s, want incomparable", d.Class)
+	}
+
+	otherSeed := mustRegen(t, ExpFigure7, Params{Trials: 4, Jitter: 10, Seed: 2}, 0)
+	if d := Diff(figure, otherSeed); d.Class != Incomparable {
+		t.Fatalf("cross-parameter diff = %s, want incomparable", d.Class)
+	}
+}
+
+// synthetic payload diffs: thresholds fire exactly as documented.
+func sealedFigure7(t *testing.T, sep, overlap float64) *Record {
+	t.Helper()
+	r := &Record{
+		Experiment: ExpFigure7,
+		Params:     Params{Trials: 2, Jitter: 1, Seed: 1},
+		Figure7: &Figure7Payload{
+			Baseline: []float64{100, 100}, Interference: []float64{100 + sep, 100 + sep},
+			Separation: sep, Overlap: overlap,
+		},
+	}
+	if _, err := r.seal(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDiffFigure7Thresholds(t *testing.T) {
+	base := sealedFigure7(t, 80, 0.05)
+	if d := Diff(base, sealedFigure7(t, 70, 0.08)); d.Class != Drift {
+		t.Fatalf("small separation move = %s %v, want drift", d.Class, d.Findings)
+	}
+	if d := Diff(base, sealedFigure7(t, 10, 0.05)); d.Class != Regression {
+		t.Fatalf("separation collapse = %s, want regression", d.Class)
+	}
+	if d := Diff(base, sealedFigure7(t, 80, 0.9)); d.Class != Regression {
+		t.Fatalf("overlap explosion = %s, want regression", d.Class)
+	}
+	// A sign inversion is a full collapse of the interference effect even
+	// when the magnitudes are close.
+	if d := Diff(base, sealedFigure7(t, -65, 0.05)); d.Class != Regression {
+		t.Fatalf("separation sign inversion = %s %v, want regression", d.Class, d.Findings)
+	}
+}
+
+// TestDiffRecomputesHashes: a fixture whose hash field was stripped (or
+// never written) must still diff as identical against a byte-identical
+// payload — the comparison trusts recomputed signatures, not stored
+// strings.
+func TestDiffRecomputesHashes(t *testing.T) {
+	a := sealedFigure7(t, 80, 0.05)
+	b := sealedFigure7(t, 80, 0.05)
+	b.Hash = ""
+	if d := Diff(b, a); d.Class != Identical || len(d.Findings) != 0 {
+		t.Fatalf("diff with a hashless old record = %s %v, want identical", d.Class, d.Findings)
+	}
+	if d := Diff(a, b); d.Class != Identical {
+		t.Fatalf("diff with a hashless new record = %s, want identical", d.Class)
+	}
+}
+
+func sealedFigure11(t *testing.T, errorRates ...float64) *Record {
+	t.Helper()
+	reps := make([]int, len(errorRates))
+	pts := make([]CurvePoint, len(errorRates))
+	for i, er := range errorRates {
+		reps[i] = 1 // duplicate reps values are legal: seeds differ by position
+		pts[i] = CurvePoint{Reps: 1, Bits: 4, ErrorRate: er, CyclesPerBit: 2000, Bps: 1e6}
+	}
+	r := &Record{
+		Experiment: ExpFigure11,
+		Params:     Params{PoCs: []string{"dcache"}, Bits: 4, Reps: reps, Seed: 1},
+		Figure11: &Figure11Payload{Curves: []Figure11Curve{{
+			PoC: "dcache", Scheme: "invisispec-spectre", Points: pts,
+		}}},
+	}
+	if _, err := r.seal(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDiffFigure11Thresholds(t *testing.T) {
+	base := sealedFigure11(t, 0.1)
+	if d := Diff(base, sealedFigure11(t, 0.2)); d.Class != Drift {
+		t.Fatalf("small error-rate move = %s %v, want drift", d.Class, d.Findings)
+	}
+	if d := Diff(base, sealedFigure11(t, 0.5)); d.Class != Regression {
+		t.Fatalf("error-rate collapse = %s, want regression", d.Class)
+	}
+	// Duplicate reps values pair positionally: a collapse in the second
+	// duplicate point must not hide behind the healthy first one.
+	if d := Diff(sealedFigure11(t, 0.1, 0.1), sealedFigure11(t, 0.1, 0.6)); d.Class != Regression {
+		t.Fatalf("collapse in a duplicate-reps point = %s, want regression", d.Class)
+	}
+}
+
+func sealedFigure12(t *testing.T, slowdown float64) *Record {
+	t.Helper()
+	r := &Record{
+		Experiment: ExpFigure12,
+		Params:     Params{Iters: 10, Schemes: []string{"fence-spectre"}},
+		Figure12: &Figure12Payload{
+			Rows: []Figure12Row{{
+				Workload: "stream", BaselineCycles: 1000, BaselineIPC: 1,
+				Slowdown: map[string]float64{"fence-spectre": slowdown},
+			}},
+			Mean:    map[string]float64{"fence-spectre": slowdown},
+			Geomean: map[string]float64{"fence-spectre": slowdown},
+		},
+	}
+	if _, err := r.seal(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDiffFigure12Thresholds(t *testing.T) {
+	base := sealedFigure12(t, 1.6)
+	if d := Diff(base, sealedFigure12(t, 1.7)); d.Class != Drift {
+		t.Fatalf("small slowdown move = %s %v, want drift", d.Class, d.Findings)
+	}
+	if d := Diff(base, sealedFigure12(t, 4.0)); d.Class != Regression {
+		t.Fatalf("slowdown explosion = %s, want regression", d.Class)
+	}
+}
+
+func TestGitRevision(t *testing.T) {
+	if rev := GitRevision(); rev == "" {
+		t.Fatal("GitRevision returned an empty string")
+	}
+}

@@ -1,0 +1,241 @@
+package results
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Store is an append-only directory of run records: one JSONL file per
+// experiment (<dir>/<experiment>.jsonl), one record per line, newest
+// last. Records are never rewritten in place; history is the point.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("results: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path returns the JSONL file holding an experiment's records.
+func (s *Store) path(experiment string) string {
+	return filepath.Join(s.dir, experiment+".jsonl")
+}
+
+// Replace rewrites an experiment's history to just rec — the baseline
+// workflow, where each experiment keeps one committed record that is
+// swapped wholesale on intentional refreshes.
+func (s *Store) Replace(rec *Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	if err := os.Remove(s.path(rec.Experiment)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("results: replace: %w", err)
+	}
+	return s.Append(rec)
+}
+
+// Append validates rec and appends it to its experiment's JSONL file.
+func (s *Store) Append(rec *Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(s.path(rec.Experiment), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("results: append: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("results: append: %w", err)
+	}
+	return f.Close()
+}
+
+// Load returns every record of one experiment, oldest first. A missing
+// file is an empty history, not an error.
+func (s *Store) Load(experiment string) ([]*Record, error) {
+	recs, err := ReadFile(s.path(experiment))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return recs, err
+}
+
+// Latest returns the newest record of an experiment, or an error when the
+// experiment has no history.
+func (s *Store) Latest(experiment string) (*Record, error) {
+	recs, err := s.Load(experiment)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("results: no %s records in %s", experiment, s.dir)
+	}
+	return recs[len(recs)-1], nil
+}
+
+// At resolves an index into an experiment's history: 0 is the oldest
+// record, negative counts from the end (-1 = latest).
+func (s *Store) At(experiment string, idx int) (*Record, error) {
+	recs, err := s.Load(experiment)
+	if err != nil {
+		return nil, err
+	}
+	if idx < 0 {
+		idx += len(recs)
+	}
+	if idx < 0 || idx >= len(recs) {
+		return nil, fmt.Errorf("results: %s has %d records, index %d out of range", experiment, len(recs), idx)
+	}
+	return recs[idx], nil
+}
+
+// Experiments lists the experiments that have history in the store, in
+// canonical order.
+func (s *Store) Experiments() ([]string, error) {
+	var out []string
+	for _, exp := range Experiments() {
+		if _, err := os.Stat(s.path(exp)); err == nil {
+			out = append(out, exp)
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ReadFile parses one JSONL record file, validating every record.
+func ReadFile(path string) ([]*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []*Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec := &Record{}
+		if err := json.Unmarshal(line, rec); err != nil {
+			return nil, fmt.Errorf("results: %s:%d: %w", path, lineNo, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("results: %s:%d: %w", path, lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("results: %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// ParseRef splits a record reference of the form "experiment" or
+// "experiment@idx" (idx 0-based, negative from the end; bare experiment
+// means @-1, the latest record).
+func ParseRef(ref string) (experiment string, idx int, err error) {
+	experiment, idx = ref, -1
+	if at := strings.LastIndexByte(ref, '@'); at >= 0 {
+		experiment = ref[:at]
+		n, err := strconv.Atoi(ref[at+1:])
+		if err != nil {
+			return "", 0, fmt.Errorf("results: bad record index in %q", ref)
+		}
+		idx = n
+	}
+	for _, exp := range Experiments() {
+		if experiment == exp {
+			return experiment, idx, nil
+		}
+	}
+	return "", 0, fmt.Errorf("results: unknown experiment %q (want one of %s)",
+		experiment, strings.Join(Experiments(), ", "))
+}
+
+var gitRevOnce struct {
+	sync.Once
+	rev string
+}
+
+// GitRevision returns the source revision of the running binary
+// ("+dirty" when the tree had local modifications), or "unknown" when no
+// revision is discoverable. The build's stamped VCS info is preferred —
+// it travels with the binary regardless of where it runs; `git` against
+// the working directory is the fallback for un-stamped builds (go run,
+// test binaries). The value is cached for the process lifetime.
+func GitRevision() string {
+	gitRevOnce.Do(func() {
+		gitRevOnce.rev = "unknown"
+		if rev, ok := buildInfoRevision(); ok {
+			gitRevOnce.rev = rev
+			return
+		}
+		out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+		if err != nil {
+			return
+		}
+		rev := strings.TrimSpace(string(out))
+		if rev == "" {
+			return
+		}
+		if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
+			len(bytes.TrimSpace(status)) > 0 {
+			rev += "+dirty"
+		}
+		gitRevOnce.rev = rev
+	})
+	return gitRevOnce.rev
+}
+
+// buildInfoRevision reads the vcs.revision/vcs.modified settings the Go
+// toolchain stamps into binaries built inside a checkout.
+func buildInfoRevision() (string, bool) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", false
+	}
+	rev, modified := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "", false
+	}
+	if modified {
+		rev += "+dirty"
+	}
+	return rev, true
+}

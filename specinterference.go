@@ -2,6 +2,8 @@ package specinterference
 
 import (
 	"context"
+	"fmt"
+	"time"
 
 	"specinterference/internal/asm"
 	"specinterference/internal/cache"
@@ -10,6 +12,7 @@ import (
 	"specinterference/internal/emu"
 	"specinterference/internal/isa"
 	"specinterference/internal/mem"
+	"specinterference/internal/results"
 	"specinterference/internal/schemes"
 	"specinterference/internal/security"
 	"specinterference/internal/trace"
@@ -233,3 +236,119 @@ func RenderTimeline(records []InstRecord, opt trace.Options) string {
 
 // TimelineOptions configures RenderTimeline.
 type TimelineOptions = trace.Options
+
+// Results-store types: persisted run records with cross-run regression
+// classification (see internal/results and cmd/resultstore).
+type (
+	// RunRecord is one persisted experiment run: parameters, volatile
+	// metadata, canonical signature and the full payload.
+	RunRecord = results.Record
+	// RunParams are the parameters that define record comparability.
+	RunParams = results.Params
+	// RunMeta is volatile run metadata (git rev, workers, wall time).
+	RunMeta = results.Meta
+	// ResultStore is an append-only JSONL directory of run records.
+	ResultStore = results.Store
+	// RunDiffReport is a classified comparison of two records.
+	RunDiffReport = results.DiffReport
+	// RunDiffClass classifies a record comparison.
+	RunDiffClass = results.DiffClass
+	// ChannelCurveInput names one measured curve for NewFigure11Record.
+	ChannelCurveInput = results.CurveInput
+)
+
+// Diff classifications, in increasing severity.
+const (
+	DiffIdentical    = results.Identical
+	DiffDrift        = results.Drift
+	DiffRegression   = results.Regression
+	DiffIncomparable = results.Incomparable
+)
+
+// Experiment names accepted by the results store.
+const (
+	ExpFigure7  = results.ExpFigure7
+	ExpTable1   = results.ExpTable1
+	ExpFigure11 = results.ExpFigure11
+	ExpFigure12 = results.ExpFigure12
+)
+
+// OpenResultStore opens (creating if needed) a results store directory.
+func OpenResultStore(dir string) (*ResultStore, error) { return results.Open(dir) }
+
+// RecordRun stamps a sealed record's volatile metadata (git revision,
+// worker count, wall time) and appends it to the store at dir, creating
+// the store if needed — the path the experiment binaries' -store flag
+// shares.
+func RecordRun(dir string, rec *RunRecord, workers int, wall time.Duration) error {
+	store, err := results.Open(dir)
+	if err != nil {
+		return err
+	}
+	rec.Stamp(workers, wall)
+	return store.Append(rec)
+}
+
+// RecordRunNotice is the experiment binaries' shared -store tail: given a
+// freshly constructed record (and its construction error), it records the
+// run and returns the one-line confirmation for stderr.
+func RecordRunNotice(dir string, rec *RunRecord, err error, workers int, start time.Time) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	if err := RecordRun(dir, rec, workers, time.Since(start)); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("recorded %s run %.12s to %s", rec.Experiment, rec.Hash, dir), nil
+}
+
+// NewFigure7Record wraps a Figure 7 measurement as a sealed run record.
+func NewFigure7Record(res *Figure7Result, trials, jitter int, seed uint64) (*RunRecord, error) {
+	return results.NewFigure7Record(res, trials, jitter, seed)
+}
+
+// NewTable1Record wraps a vulnerability-matrix run as a sealed run record.
+func NewTable1Record(cells []MatrixCell, schemeNames []string) (*RunRecord, error) {
+	return results.NewTable1Record(cells, schemeNames)
+}
+
+// NewFigure11Record wraps measured channel curves as a sealed run record.
+func NewFigure11Record(curves []ChannelCurveInput, bits int, reps []int, seed uint64) (*RunRecord, error) {
+	return results.NewFigure11Record(curves, bits, reps, seed)
+}
+
+// NewFigure12Record wraps a defense-overhead sweep as a sealed run record.
+func NewFigure12Record(res *EvalResult, iters int, schemeNames []string) (*RunRecord, error) {
+	return results.NewFigure12Record(res, iters, schemeNames)
+}
+
+// DiffRunRecords classifies the change from old to new: identical,
+// statistical drift, regression, or incomparable.
+func DiffRunRecords(old, new *RunRecord) *RunDiffReport { return results.Diff(old, new) }
+
+// RegenerateRecord reruns one experiment at the given parameters.
+func RegenerateRecord(ctx context.Context, experiment string, p RunParams, workers int) (*RunRecord, error) {
+	return results.Regenerate(ctx, experiment, p, workers)
+}
+
+// BaselineRunParams returns the committed regression baseline's
+// small-trial parameters for an experiment.
+func BaselineRunParams(experiment string) (RunParams, error) {
+	return results.BaselineParams(experiment)
+}
+
+// ResultExperiments lists every experiment name in canonical order.
+func ResultExperiments() []string { return results.Experiments() }
+
+// ReadRecordFile parses one JSONL record file, validating every record.
+func ReadRecordFile(path string) ([]*RunRecord, error) { return results.ReadFile(path) }
+
+// ParseRecordRef splits "experiment" or "experiment@idx" references used
+// by the resultstore CLI (idx negative counts from the newest record).
+func ParseRecordRef(ref string) (experiment string, idx int, err error) {
+	return results.ParseRef(ref)
+}
+
+// GitRevision reports the current source revision ("+dirty" when the
+// tree is modified), or "unknown" outside a git checkout.
+func GitRevision() string { return results.GitRevision() }
