@@ -3,22 +3,24 @@
 // The trade-off knob is the number of attack repetitions per transmitted
 // bit, decoded by majority vote.
 //
-// Usage:
+// The run itself goes through the shared experiment engine
+// (internal/experiment), which also provides the common flags:
 //
-//	covertbench [-poc dcache|icache|both] [-bits 64] [-reps 1,3,5,9,15] [-parallel N] [-json] [-store DIR]
+//	covertbench [-poc dcache|icache|both] [-bits 64] [-reps 1,3,5,9,15]
+//	            [-seed 1] [-parallel N] [-backend inprocess|subprocess]
+//	            [-procs N] [-scale N] [-progress] [-json] [-store DIR]
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
+	"io"
 	"strconv"
 	"strings"
-	"time"
 
-	si "specinterference"
+	"specinterference/internal/channel"
+	"specinterference/internal/experiment"
+	"specinterference/internal/results"
 )
 
 // jsonCurve is the machine-readable form of one PoC's Figure 11 curve.
@@ -40,76 +42,76 @@ type jsonPoint struct {
 	Bps          float64 `json:"bps"`
 }
 
+// displayName maps persisted PoC names to the Figure 11 captions.
+func displayName(poc string) string {
+	switch poc {
+	case "dcache":
+		return "D-Cache"
+	case "icache":
+		return "I-Cache"
+	default:
+		return poc
+	}
+}
+
 func main() {
-	poc := flag.String("poc", "both", "dcache, icache or both")
-	bits := flag.Int("bits", 64, "random bits per curve point")
-	repsFlag := flag.String("reps", "1,3,5,9,15", "comma-separated repetitions-per-bit sweep")
-	seed := flag.Uint64("seed", 1, "measurement seed")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = one per CPU); trials shard per bit×rep, results identical at any value")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text curves")
-	storeDir := flag.String("store", "", "append a run record to this results-store directory")
-	flag.Parse()
-
-	if *poc != "dcache" && *poc != "icache" && *poc != "both" {
-		fmt.Fprintf(os.Stderr, "covertbench: bad -poc value %q (want dcache, icache or both)\n", *poc)
-		os.Exit(1)
-	}
-	var reps []int
-	for _, s := range strings.Split(*repsFlag, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || v < 1 {
-			fmt.Fprintf(os.Stderr, "covertbench: bad reps value %q\n", s)
-			os.Exit(1)
-		}
-		reps = append(reps, v)
-	}
-
-	var curves []jsonCurve
-	var measured []si.ChannelCurveInput
-	start := time.Now()
-	run := func(display, name string, p *si.PoC) {
-		results, err := si.ChannelCurveParallel(context.Background(), p, reps, *bits, *seed, *parallel)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "covertbench:", err)
-			os.Exit(1)
-		}
-		measured = append(measured, si.ChannelCurveInput{PoC: name, Scheme: p.SchemeName, Points: results})
-		if *jsonOut {
-			c := jsonCurve{PoC: name, Scheme: p.SchemeName, Seed: *seed}
-			for _, r := range results {
-				c.Points = append(c.Points, jsonPoint{
-					Reps: r.Reps, Bits: r.Bits, Errors: r.Errors, Dropped: r.Dropped,
-					ErrorRate: r.ErrorRate, CyclesPerBit: r.CyclesPerBit, Bps: r.Bps,
-				})
+	experiment.Main(experiment.CLIConfig{
+		Name:       "covertbench",
+		Experiment: results.ExpFigure11,
+		Flags: func(fs *flag.FlagSet) func() (results.Params, error) {
+			poc := fs.String("poc", "both", "dcache, icache or both")
+			bits := fs.Int("bits", 64, "random bits per curve point")
+			repsFlag := fs.String("reps", "1,3,5,9,15", "comma-separated repetitions-per-bit sweep")
+			seed := fs.Uint64("seed", 1, "measurement seed")
+			return func() (results.Params, error) {
+				var pocs []string
+				switch *poc {
+				case "dcache", "icache":
+					pocs = []string{*poc}
+				case "both":
+					pocs = []string{"dcache", "icache"}
+				default:
+					return results.Params{}, fmt.Errorf("bad -poc value %q (want dcache, icache or both)", *poc)
+				}
+				var reps []int
+				for _, s := range strings.Split(*repsFlag, ",") {
+					v, err := strconv.Atoi(strings.TrimSpace(s))
+					if err != nil || v < 1 {
+						return results.Params{}, fmt.Errorf("bad reps value %q", s)
+					}
+					reps = append(reps, v)
+				}
+				return results.Params{PoCs: pocs, Bits: *bits, Reps: reps, Seed: *seed}, nil
 			}
-			curves = append(curves, c)
-			return
-		}
-		fmt.Printf("Figure 11 (%s PoC, scheme %s): error rate vs bit rate\n", display, p.SchemeName)
-		for _, r := range results {
-			fmt.Println("  " + r.String())
-		}
-		fmt.Println()
-	}
-	if *poc == "dcache" || *poc == "both" {
-		run("D-Cache", "dcache", si.DCacheFigure11())
-	}
-	if *poc == "icache" || *poc == "both" {
-		run("I-Cache", "icache", si.ICacheFigure11())
-	}
-	if *storeDir != "" {
-		rec, err := si.NewFigure11Record(measured, *bits, reps, *seed)
-		notice, err := si.RecordRunNotice(*storeDir, rec, err, *parallel, start)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "covertbench:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(os.Stderr, notice)
-	}
-	if *jsonOut {
-		if err := json.NewEncoder(os.Stdout).Encode(curves); err != nil {
-			fmt.Fprintln(os.Stderr, "covertbench:", err)
-			os.Exit(1)
-		}
-	}
+		},
+		Text: func(w io.Writer, rec *results.Record) error {
+			for _, c := range rec.Figure11.Curves {
+				fmt.Fprintf(w, "Figure 11 (%s PoC, scheme %s): error rate vs bit rate\n",
+					displayName(c.PoC), c.Scheme)
+				for _, pt := range c.Points {
+					r := channel.Result{
+						Reps: pt.Reps, Bits: pt.Bits, Errors: pt.Errors, Dropped: pt.Dropped,
+						ErrorRate: pt.ErrorRate, CyclesPerBit: pt.CyclesPerBit, Bps: pt.Bps,
+					}
+					fmt.Fprintln(w, "  "+r.String())
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		},
+		JSON: func(rec *results.Record) (any, error) {
+			curves := make([]jsonCurve, 0, len(rec.Figure11.Curves))
+			for _, c := range rec.Figure11.Curves {
+				jc := jsonCurve{PoC: c.PoC, Scheme: c.Scheme, Seed: rec.Params.Seed}
+				for _, pt := range c.Points {
+					jc.Points = append(jc.Points, jsonPoint{
+						Reps: pt.Reps, Bits: pt.Bits, Errors: pt.Errors, Dropped: pt.Dropped,
+						ErrorRate: pt.ErrorRate, CyclesPerBit: pt.CyclesPerBit, Bps: pt.Bps,
+					})
+				}
+				curves = append(curves, jc)
+			}
+			return curves, nil
+		},
+	})
 }

@@ -2,21 +2,23 @@
 // basic fence defense, normalized to the unsafe baseline, across the
 // synthetic SPEC-like kernels.
 //
-// Usage:
+// The run itself goes through the shared experiment engine
+// (internal/experiment), which also provides the common flags:
 //
-//	defensebench [-iters 2000] [-schemes fence-spectre,fence-futuristic] [-parallel N] [-json] [-store DIR]
+//	defensebench [-iters 2000] [-schemes fence-spectre,fence-futuristic]
+//	             [-parallel N] [-backend inprocess|subprocess] [-procs N]
+//	             [-scale N] [-progress] [-json] [-store DIR]
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
+	"io"
 	"strings"
-	"time"
 
-	si "specinterference"
+	"specinterference/internal/experiment"
+	"specinterference/internal/results"
+	"specinterference/internal/workload"
 )
 
 // jsonRow is the machine-readable form of one workload's slowdowns.
@@ -28,56 +30,55 @@ type jsonRow struct {
 }
 
 func main() {
-	iters := flag.Int("iters", 2000, "loop iterations per kernel")
-	schemesFlag := flag.String("schemes", "fence-spectre,fence-futuristic",
-		"comma-separated defense list")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = one per CPU); one shard per workload×scheme cell, results identical at any value")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
-	storeDir := flag.String("store", "", "append a run record to this results-store directory")
-	flag.Parse()
+	experiment.Main(experiment.CLIConfig{
+		Name:       "defensebench",
+		Experiment: results.ExpFigure12,
+		Flags: func(fs *flag.FlagSet) func() (results.Params, error) {
+			iters := fs.Int("iters", 2000, "loop iterations per kernel")
+			schemesFlag := fs.String("schemes", "fence-spectre,fence-futuristic",
+				"comma-separated defense list")
+			return func() (results.Params, error) {
+				if *iters < 1 {
+					return results.Params{}, fmt.Errorf("-iters must be >= 1, got %d", *iters)
+				}
+				return results.Params{Iters: *iters, Schemes: strings.Split(*schemesFlag, ",")}, nil
+			}
+		},
+		Text: func(w io.Writer, rec *results.Record) error {
+			fmt.Fprintln(w, "Figure 12: fence-defense slowdown over the unsafe baseline")
+			fmt.Fprint(w, payloadResult(rec).Format(rec.Params.Schemes))
+			fmt.Fprintln(w, "\npaper (SPEC CPU2017 on gem5): 1.58x mean Spectre model, 5.38x mean Futuristic model")
+			return nil
+		},
+		JSON: func(rec *results.Record) (any, error) {
+			out := struct {
+				Iters   int                `json:"iters"`
+				Rows    []jsonRow          `json:"rows"`
+				Mean    map[string]float64 `json:"mean"`
+				Geomean map[string]float64 `json:"geomean"`
+			}{Iters: rec.Params.Iters, Mean: rec.Figure12.Mean, Geomean: rec.Figure12.Geomean}
+			for _, row := range rec.Figure12.Rows {
+				out.Rows = append(out.Rows, jsonRow{
+					Workload: row.Workload, BaselineCycles: row.BaselineCycles,
+					BaselineIPC: row.BaselineIPC, Slowdown: row.Slowdown,
+				})
+			}
+			return out, nil
+		},
+	})
+}
 
-	if *iters < 1 {
-		// The facade substitutes its default for iters<=0; a record
-		// stamped with the raw flag would then misrepresent the run.
-		fmt.Fprintf(os.Stderr, "defensebench: -iters must be >= 1, got %d\n", *iters)
-		os.Exit(1)
+// payloadResult rebuilds the typed sweep result from the persisted
+// payload for the Figure 12 table renderer.
+func payloadResult(rec *results.Record) *workload.EvalResult {
+	res := &workload.EvalResult{Mean: rec.Figure12.Mean, Geomean: rec.Figure12.Geomean}
+	for _, row := range rec.Figure12.Rows {
+		res.Rows = append(res.Rows, workload.EvalRow{
+			Workload:       row.Workload,
+			BaselineCycles: row.BaselineCycles,
+			BaselineIPC:    row.BaselineIPC,
+			Slowdown:       row.Slowdown,
+		})
 	}
-	names := strings.Split(*schemesFlag, ",")
-	start := time.Now()
-	res, err := si.DefenseOverheadParallel(context.Background(), *iters, names, *parallel)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "defensebench:", err)
-		os.Exit(1)
-	}
-	if *storeDir != "" {
-		rec, err := si.NewFigure12Record(res, *iters, names)
-		notice, err := si.RecordRunNotice(*storeDir, rec, err, *parallel, start)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "defensebench:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(os.Stderr, notice)
-	}
-	if *jsonOut {
-		out := struct {
-			Iters   int                `json:"iters"`
-			Rows    []jsonRow          `json:"rows"`
-			Mean    map[string]float64 `json:"mean"`
-			Geomean map[string]float64 `json:"geomean"`
-		}{Iters: *iters, Mean: res.Mean, Geomean: res.Geomean}
-		for _, row := range res.Rows {
-			out.Rows = append(out.Rows, jsonRow{
-				Workload: row.Workload, BaselineCycles: row.BaselineCycles,
-				BaselineIPC: row.BaselineIPC, Slowdown: row.Slowdown,
-			})
-		}
-		if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, "defensebench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	fmt.Println("Figure 12: fence-defense slowdown over the unsafe baseline")
-	fmt.Print(res.Format(names))
-	fmt.Println("\npaper (SPEC CPU2017 on gem5): 1.58x mean Spectre model, 5.38x mean Futuristic model")
+	return res
 }

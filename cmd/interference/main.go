@@ -3,67 +3,68 @@
 // time (first f(z) instruction issue → load A completion) with the gadget
 // inert (secret 0) and active (secret 1).
 //
-// Usage:
+// The run itself goes through the shared experiment engine
+// (internal/experiment), which also provides the common flags:
 //
-//	interference [-trials 500] [-jitter 30] [-parallel N] [-json] [-store DIR]
+//	interference [-trials 500] [-jitter 30] [-seed 1] [-parallel N]
+//	             [-backend inprocess|subprocess] [-procs N] [-scale N]
+//	             [-progress] [-json] [-store DIR]
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
-	"time"
+	"io"
 
-	si "specinterference"
+	"specinterference/internal/core"
+	"specinterference/internal/experiment"
+	"specinterference/internal/results"
 )
 
 func main() {
-	trials := flag.Int("trials", 500, "trials per arm")
-	jitter := flag.Int("jitter", 30, "DRAM latency jitter (cycles)")
-	seed := flag.Uint64("seed", 1, "seed")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = one per CPU); results are identical at any value")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the histograms")
-	storeDir := flag.String("store", "", "append a run record to this results-store directory")
-	flag.Parse()
+	experiment.Main(experiment.CLIConfig{
+		Name:       "interference",
+		Experiment: results.ExpFigure7,
+		Flags: func(fs *flag.FlagSet) func() (results.Params, error) {
+			trials := fs.Int("trials", 500, "trials per arm")
+			jitter := fs.Int("jitter", 30, "DRAM latency jitter (cycles)")
+			seed := fs.Uint64("seed", 1, "seed")
+			return func() (results.Params, error) {
+				return results.Params{Trials: *trials, Jitter: *jitter, Seed: *seed}, nil
+			}
+		},
+		Text: renderText,
+		JSON: renderJSON,
+	})
+}
 
-	start := time.Now()
-	res, err := si.Figure7Parallel(context.Background(), *trials, *jitter, *seed, *parallel)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "interference:", err)
-		os.Exit(1)
-	}
-	if *storeDir != "" {
-		rec, err := si.NewFigure7Record(res, *trials, *jitter, *seed)
-		notice, err := si.RecordRunNotice(*storeDir, rec, err, *parallel, start)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "interference:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(os.Stderr, notice)
-	}
-	if *jsonOut {
-		out := struct {
-			Trials       int       `json:"trials"`
-			Jitter       int       `json:"jitter"`
-			Seed         uint64    `json:"seed"`
-			Separation   float64   `json:"separation_cycles"`
-			Overlap      float64   `json:"overlap_coefficient"`
-			Baseline     []float64 `json:"baseline_latencies"`
-			Interference []float64 `json:"interference_latencies"`
-		}{*trials, *jitter, *seed, res.Separation, res.Overlap, res.Baseline, res.Interference}
-		if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, "interference:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	fmt.Println("Figure 7: interference gadget contention histogram")
-	fmt.Printf("separation: %.1f cycles   overlap coefficient: %.3f\n\n", res.Separation, res.Overlap)
-	fmt.Println("baseline (no interference):")
-	fmt.Print(res.BaseHist.Render(50))
-	fmt.Println("\ninterference:")
-	fmt.Print(res.IntHist.Render(50))
-	fmt.Println("\npaper: ~80 rdtsc-cycle shift with clearly separated distributions")
+// renderText reproduces the pre-engine histogram rendering from the
+// persisted payload (the histograms are derived views of the arms).
+func renderText(w io.Writer, rec *results.Record) error {
+	res := core.BuildFigure7Result(rec.Figure7.Baseline, rec.Figure7.Interference)
+	fmt.Fprintln(w, "Figure 7: interference gadget contention histogram")
+	fmt.Fprintf(w, "separation: %.1f cycles   overlap coefficient: %.3f\n\n", res.Separation, res.Overlap)
+	fmt.Fprintln(w, "baseline (no interference):")
+	fmt.Fprint(w, res.BaseHist.Render(50))
+	fmt.Fprintln(w, "\ninterference:")
+	fmt.Fprint(w, res.IntHist.Render(50))
+	fmt.Fprintln(w, "\npaper: ~80 rdtsc-cycle shift with clearly separated distributions")
+	return nil
+}
+
+// renderJSON emits the established machine-readable shape.
+func renderJSON(rec *results.Record) (any, error) {
+	return struct {
+		Trials       int       `json:"trials"`
+		Jitter       int       `json:"jitter"`
+		Seed         uint64    `json:"seed"`
+		Separation   float64   `json:"separation_cycles"`
+		Overlap      float64   `json:"overlap_coefficient"`
+		Baseline     []float64 `json:"baseline_latencies"`
+		Interference []float64 `json:"interference_latencies"`
+	}{
+		rec.Params.Trials, rec.Params.Jitter, rec.Params.Seed,
+		rec.Figure7.Separation, rec.Figure7.Overlap,
+		rec.Figure7.Baseline, rec.Figure7.Interference,
+	}, nil
 }

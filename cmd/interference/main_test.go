@@ -15,6 +15,29 @@ func TestSmoke(t *testing.T) {
 	}
 }
 
+// TestSmokeSubprocess: the subprocess backend re-execs this binary in
+// shard-worker mode and must reproduce the in-process output exactly.
+func TestSmokeSubprocess(t *testing.T) {
+	want := cmdtest.Run(t, "", "-trials", "2", "-jitter", "5")
+	got := cmdtest.Run(t, "", "-trials", "2", "-jitter", "5", "-backend", "subprocess", "-procs", "2")
+	if got != want {
+		t.Errorf("subprocess output diverged from in-process:\n--- inprocess\n%s\n--- subprocess\n%s", want, got)
+	}
+}
+
+// TestProgressFlag: -progress reports shard completion on stderr and
+// leaves stdout byte-identical.
+func TestProgressFlag(t *testing.T) {
+	want := cmdtest.Run(t, "", "-trials", "2", "-jitter", "5")
+	stdout, stderr := cmdtest.RunCapture(t, "", "-trials", "2", "-jitter", "5", "-progress")
+	if stdout != want {
+		t.Errorf("-progress changed stdout:\n--- without\n%s\n--- with\n%s", want, stdout)
+	}
+	if !strings.Contains(stderr, "4/4 shards") {
+		t.Errorf("-progress stderr lacks the completion line:\n%s", stderr)
+	}
+}
+
 func TestSmokeJSON(t *testing.T) {
 	out := cmdtest.Run(t, "", "-trials", "2", "-jitter", "5", "-json", "-parallel", "2")
 	var res struct {

@@ -10,8 +10,9 @@
 //	resultstore list     -store DIR
 //	resultstore show     [-store DIR] ref
 //	resultstore diff     [-store DIR] [-baseline DIR] refA [refB]
-//	resultstore check    -baseline DIR [-store DIR] [-parallel N]
-//	resultstore baseline -dir DIR [-parallel N]
+//	resultstore check    -baseline DIR [-store DIR] [-parallel N] [-backend B] [-procs N]
+//	resultstore baseline -dir DIR [-parallel N] [-backend B] [-procs N]
+//	resultstore bless    -baseline DIR [-store DIR] -reason STR
 //
 // A ref is "experiment" or "experiment@idx": figure7, table1, figure11 or
 // figure12, with an optional 0-based history index (negative counts from
@@ -29,6 +30,14 @@
 // parameters and exits non-zero when any comparison classifies as
 // regression or incomparable — the CI gate. baseline (re)writes the
 // committed baseline records at the standard small-trial parameters.
+// Both rerun through the experiment engine: -backend selects inprocess
+// (worker goroutines) or subprocess (re-exec'd worker processes, the
+// -procs knob), with bit-identical records either way.
+//
+// bless promotes each experiment's newest record in -store to the
+// committed baseline in one command, replacing the baseline record and
+// stamping a provenance note (date, reason, commit) — the reviewed path
+// for intentional result shifts.
 package main
 
 import (
@@ -43,6 +52,9 @@ import (
 )
 
 func main() {
+	// The subprocess backend re-execs this binary as a shard worker; a
+	// worker process serves its range here and never returns.
+	si.RunExperimentWorkerIfRequested()
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -60,6 +72,8 @@ func main() {
 		err = runCheck(args)
 	case "baseline":
 		err = runBaseline(args)
+	case "bless":
+		err = runBless(args)
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -79,9 +93,23 @@ func usage() {
   resultstore list     -store DIR
   resultstore show     [-store DIR] experiment[@idx]
   resultstore diff     [-store DIR] [-baseline DIR] refA [refB]
-  resultstore check    -baseline DIR [-store DIR] [-parallel N]
-  resultstore baseline -dir DIR [-parallel N]
+  resultstore check    -baseline DIR [-store DIR] [-parallel N] [-backend inprocess|subprocess] [-procs N]
+  resultstore baseline -dir DIR [-parallel N] [-backend inprocess|subprocess] [-procs N]
+  resultstore bless    -baseline DIR [-store DIR] -reason STR
 `)
+}
+
+// backendFlags registers the shared execution-backend flags and returns
+// a constructor to call after parsing; workers (-parallel) and procs
+// (-procs) are echoed back for run-metadata stamping.
+func backendFlags(fs *flag.FlagSet) func() (b si.ExperimentBackend, workers, procs int, err error) {
+	parallel := fs.Int("parallel", 0, "worker goroutines for the reruns (0 = one per CPU in-process, serial per subprocess worker)")
+	backend := fs.String("backend", "inprocess", "execution backend: inprocess or subprocess")
+	procsFlag := fs.Int("procs", 0, "worker processes for -backend subprocess (0 = one per CPU)")
+	return func() (si.ExperimentBackend, int, int, error) {
+		b, err := si.NewExperimentBackend(*backend, *procsFlag, *parallel)
+		return b, *parallel, *procsFlag, err
+	}
 }
 
 // openStore opens dir without creating it for read-only subcommands.
@@ -216,10 +244,14 @@ func runCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	baselineDir := fs.String("baseline", "", "committed baseline store to gate against (required)")
 	storeDir := fs.String("store", "", "optional store to append the fresh records to")
-	parallel := fs.Int("parallel", 0, "worker goroutines for the reruns (0 = one per CPU)")
+	mkBackend := backendFlags(fs)
 	fs.Parse(args)
 	if *baselineDir == "" {
 		return fmt.Errorf("check requires -baseline DIR")
+	}
+	backend, workers, procs, err := mkBackend()
+	if err != nil {
+		return err
 	}
 	baseline, err := openStore(*baselineDir)
 	if err != nil {
@@ -249,11 +281,15 @@ func runCheck(args []string) error {
 			return err
 		}
 		start := time.Now()
-		fresh, err := si.RegenerateRecord(context.Background(), exp, ref.Params, *parallel)
+		fresh, err := si.RunExperiment(context.Background(), exp, ref.Params, backend)
 		if err != nil {
 			return fmt.Errorf("rerun %s: %w", exp, err)
 		}
-		fresh.Stamp(*parallel, time.Since(start))
+		fresh.Stamp(workers, time.Since(start))
+		fresh.Meta.Backend = backend.Name()
+		if backend.Name() == "subprocess" {
+			fresh.Meta.Procs = procs
+		}
 		fresh.Meta.Note = "resultstore check"
 		if sink != nil {
 			if err := sink.Append(fresh); err != nil {
@@ -282,10 +318,14 @@ func runCheck(args []string) error {
 func runBaseline(args []string) error {
 	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
 	dir := fs.String("dir", "", "baseline directory to (re)write (required)")
-	parallel := fs.Int("parallel", 0, "worker goroutines (0 = one per CPU)")
+	mkBackend := backendFlags(fs)
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("baseline requires -dir DIR")
+	}
+	backend, _, _, err := mkBackend()
+	if err != nil {
+		return err
 	}
 	store, err := si.OpenResultStore(*dir)
 	if err != nil {
@@ -296,7 +336,7 @@ func runBaseline(args []string) error {
 		if err != nil {
 			return err
 		}
-		rec, err := si.RegenerateRecord(context.Background(), exp, params, *parallel)
+		rec, err := si.RunExperiment(context.Background(), exp, params, backend)
 		if err != nil {
 			return fmt.Errorf("regenerate %s: %w", exp, err)
 		}
@@ -309,5 +349,64 @@ func runBaseline(args []string) error {
 		}
 		fmt.Printf("baseline %-9s %.12s written to %s\n", exp, rec.Hash, store.Dir())
 	}
+	return nil
+}
+
+// runBless promotes each experiment's newest store record to the
+// committed baseline in one reviewed command, stamping a provenance note
+// (date, reason, commit) so the history of intentional result shifts
+// lives in the baseline files themselves.
+func runBless(args []string) error {
+	fs := flag.NewFlagSet("bless", flag.ExitOnError)
+	storeDir := fs.String("store", "results-store", "store holding the run records to promote")
+	baselineDir := fs.String("baseline", "", "committed baseline directory to update (required)")
+	reason := fs.String("reason", "", "why the baseline is moving (recorded in the provenance note; required)")
+	fs.Parse(args)
+	if *baselineDir == "" {
+		return fmt.Errorf("bless requires -baseline DIR")
+	}
+	if *reason == "" {
+		return fmt.Errorf("bless requires -reason explaining the intentional result shift")
+	}
+	store, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	baseline, err := si.OpenResultStore(*baselineDir)
+	if err != nil {
+		return err
+	}
+	exps, err := store.Experiments()
+	if err != nil {
+		return err
+	}
+	if len(exps) == 0 {
+		return fmt.Errorf("store %s has no run records to bless", store.Dir())
+	}
+	note := fmt.Sprintf("blessed %s: %s (commit %s)",
+		time.Now().UTC().Format("2006-01-02"), *reason, si.GitRevision())
+	for _, exp := range exps {
+		rec, err := store.Latest(exp)
+		if err != nil {
+			return err
+		}
+		// Classify against the outgoing baseline so the operator sees
+		// what kind of shift they are promoting. A corrupt baseline must
+		// surface, not silently read as "no old record".
+		change := "new"
+		if olds, err := baseline.Load(exp); err != nil {
+			return fmt.Errorf("old baseline %s: %w", exp, err)
+		} else if len(olds) > 0 {
+			change = si.DiffRunRecords(olds[len(olds)-1], rec).Class.String()
+		}
+		promoted := *rec
+		promoted.Meta = si.RunMeta{Note: note}
+		if err := baseline.Replace(&promoted); err != nil {
+			return err
+		}
+		fmt.Printf("blessed %-9s %.12s -> %s (%s vs old baseline)\n",
+			exp, promoted.Hash, baseline.Dir(), change)
+	}
+	fmt.Printf("provenance: %s\n", note)
 	return nil
 }

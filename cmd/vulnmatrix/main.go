@@ -3,21 +3,25 @@
 // ordering combination; a cell is vulnerable when the visible LLC access
 // pattern over the probe lines differs between secret values.
 //
-// Usage:
+// The run itself goes through the shared experiment engine
+// (internal/experiment), which also provides the common flags:
 //
-//	vulnmatrix [-schemes dom,invisispec-spectre,...] [-verify] [-parallel N] [-json] [-store DIR]
+//	vulnmatrix [-schemes dom,invisispec-spectre,...] [-verify] [-parallel N]
+//	           [-backend inprocess|subprocess] [-procs N]
+//	           [-progress] [-json] [-store DIR]
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
-	"time"
 
-	si "specinterference"
+	"specinterference/internal/core"
+	"specinterference/internal/experiment"
+	"specinterference/internal/results"
+	"specinterference/internal/schemes"
 )
 
 // jsonCell is the machine-readable form of one matrix cell.
@@ -30,70 +34,86 @@ type jsonCell struct {
 }
 
 func main() {
-	schemesFlag := flag.String("schemes", "", "comma-separated scheme list (default: all)")
-	verify := flag.Bool("verify", false, "compare against the paper's Table 1 and exit non-zero on mismatch")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = one per CPU); one shard per matrix cell, results identical at any value")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
-	storeDir := flag.String("store", "", "append a run record to this results-store directory")
-	flag.Parse()
-
-	names := si.SchemeNames()
-	if *schemesFlag != "" {
-		names = strings.Split(*schemesFlag, ",")
-	}
-	start := time.Now()
-	cells, err := si.VulnerabilityMatrixParallel(context.Background(), names, *parallel)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vulnmatrix:", err)
-		os.Exit(1)
-	}
-	if *storeDir != "" {
-		rec, err := si.NewTable1Record(cells, names)
-		notice, err := si.RecordRunNotice(*storeDir, rec, err, *parallel, start)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vulnmatrix:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(os.Stderr, notice)
-	}
-	if *jsonOut {
-		out := make([]jsonCell, 0, len(cells))
-		for _, c := range cells {
-			out = append(out, jsonCell{
-				Scheme: c.Scheme, Gadget: c.Gadget.String(), Ordering: c.Ordering.String(),
-				Vulnerable: c.Vulnerable, RefCycle: c.RefCycle,
-			})
-		}
-		if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, "vulnmatrix:", err)
-			os.Exit(1)
-		}
-	} else {
-		fmt.Print(si.FormatMatrix(cells))
-	}
-
-	if *verify {
-		// In -json mode stdout must stay a single JSON document, so the
-		// verify diagnostics go to stderr.
-		diag := os.Stdout
-		if *jsonOut {
-			diag = os.Stderr
-		}
-		expected := si.ExpectedTable1()
-		bad := 0
-		for _, c := range cells {
-			k := c.Gadget.String() + "|" + c.Ordering.String()
-			if want := expected[k][c.Scheme]; want != c.Vulnerable {
-				bad++
-				fmt.Fprintf(diag, "MISMATCH %-22s %-22s got %v, paper says %v\n", k, c.Scheme, c.Vulnerable, want)
+	var verify *bool
+	experiment.Main(experiment.CLIConfig{
+		Name:       "vulnmatrix",
+		Experiment: results.ExpTable1,
+		Flags: func(fs *flag.FlagSet) func() (results.Params, error) {
+			schemesFlag := fs.String("schemes", "", "comma-separated scheme list (default: all)")
+			verify = fs.Bool("verify", false, "compare against the paper's Table 1 and exit non-zero on mismatch")
+			return func() (results.Params, error) {
+				names := schemes.Names()
+				if *schemesFlag != "" {
+					names = strings.Split(*schemesFlag, ",")
+				}
+				return results.Params{Schemes: names}, nil
 			}
+		},
+		Text: func(w io.Writer, rec *results.Record) error {
+			cells, err := payloadCells(rec)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, core.FormatMatrix(cells))
+			return nil
+		},
+		JSON: func(rec *results.Record) (any, error) {
+			out := make([]jsonCell, 0, len(rec.Table1.Cells))
+			for _, c := range rec.Table1.Cells {
+				out = append(out, jsonCell{
+					Scheme: c.Scheme, Gadget: c.Gadget, Ordering: c.Ordering,
+					Vulnerable: c.Vulnerable, RefCycle: c.RefCycle,
+				})
+			}
+			return out, nil
+		},
+		After: func(rec *results.Record, jsonMode bool) error {
+			if !*verify {
+				return nil
+			}
+			// In -json mode stdout must stay a single JSON document, so
+			// the verify diagnostics go to stderr.
+			diag := os.Stdout
+			if jsonMode {
+				diag = os.Stderr
+			}
+			expected := core.ExpectedTable1()
+			bad := 0
+			for _, c := range rec.Table1.Cells {
+				k := c.Gadget + "|" + c.Ordering
+				if want := expected[k][c.Scheme]; want != c.Vulnerable {
+					bad++
+					fmt.Fprintf(diag, "MISMATCH %-22s %-22s got %v, paper says %v\n", k, c.Scheme, c.Vulnerable, want)
+				}
+			}
+			if bad > 0 {
+				fmt.Fprintf(diag, "%d mismatches against the paper's Table 1\n", bad)
+				os.Exit(1)
+			}
+			if !jsonMode {
+				fmt.Println("matrix matches the paper's Table 1")
+			}
+			return nil
+		},
+	})
+}
+
+// payloadCells rebuilds typed matrix cells from the persisted payload.
+func payloadCells(rec *results.Record) ([]core.MatrixCell, error) {
+	cells := make([]core.MatrixCell, 0, len(rec.Table1.Cells))
+	for _, c := range rec.Table1.Cells {
+		g, err := core.ParseGadget(c.Gadget)
+		if err != nil {
+			return nil, err
 		}
-		if bad > 0 {
-			fmt.Fprintf(diag, "%d mismatches against the paper's Table 1\n", bad)
-			os.Exit(1)
+		o, err := core.ParseOrdering(c.Ordering)
+		if err != nil {
+			return nil, err
 		}
-		if !*jsonOut {
-			fmt.Println("matrix matches the paper's Table 1")
-		}
+		cells = append(cells, core.MatrixCell{
+			Scheme: c.Scheme, Gadget: g, Ordering: o,
+			Vulnerable: c.Vulnerable, RefCycle: c.RefCycle,
+		})
 	}
+	return cells, nil
 }

@@ -26,28 +26,45 @@
 //   - harnesses that regenerate every table and figure of the evaluation
 //     (Table 1; Figures 7, 8, 9, 10, 11a, 11b, 12),
 //   - a checker for the §5.1 "ideal invisible speculation" definition, and
-//   - a deterministic sharded experiment runner (internal/runner) that
-//     fans independent trials out across a bounded worker pool.
+//   - a unified experiment engine (internal/experiment) that runs every
+//     harness as sharded trials over pluggable execution backends.
 //
-// # Parallel experiment running
+// # Experiment engine and backends
 //
 // The four repeated-trial harnesses — Figure7, VulnerabilityMatrix,
-// ChannelCurve and DefenseOverhead — shard their trials through
-// internal/runner. Each has a *Parallel variant taking a context and a
-// worker count (0 = one worker per CPU), surfaced on the CLIs as
-// -parallel; vulnmatrix, covertbench, defensebench and interference also
-// take -json for machine-readable output.
+// ChannelCurve and DefenseOverhead — are registered experiment specs in
+// internal/experiment. A spec declares a shard plan, a pure per-shard
+// run function, and a serial-order aggregator producing a sealed run
+// record; the engine executes specs over a Backend:
 //
-// The seed-derivation contract makes the worker count a pure wall-clock
+//   - the in-process backend shards trials across the bounded worker
+//     pool of internal/runner (-parallel N goroutines, 0 = one per CPU);
+//   - the subprocess backend re-execs the binary in a hidden
+//     -shard-worker mode, distributing contiguous shard ranges across
+//     -procs N worker processes and collecting JSON-streamed results by
+//     shard index.
+//
+// The seed-derivation contract makes the backend a pure wall-clock
 // knob: every shard's seed is an arithmetic function of its index alone
 // (Figure7 trial i of arm s runs at seedBase + 2i + s; channel trial
 // (bit b, rep r) at seedBase*1_000_003 + 17 + b*reps + r + 1 — exactly
 // the sequences the old serial loops produced), every shard builds its
-// own System and Memory, and runner.Map returns results in index order.
+// own System and Memory, and collection is ordered by shard index.
 // Aggregation then replays the serial loop's order, so outputs are
-// bit-identical at any worker count ≥ 1; the determinism tests in
-// internal/core, internal/channel and internal/workload pin the serial
-// reference loops as goldens.
+// bit-identical at any worker count, process count, or backend; the
+// determinism tests in internal/core, internal/channel and
+// internal/workload pin the serial reference loops as goldens, and the
+// backend-equivalence tests in internal/experiment pin both backends to
+// the committed baseline signatures.
+//
+// The library entry points keep their *Parallel variants (context plus a
+// worker count), now thin wrappers over the same shared per-shard
+// primitives the engine uses. The four experiment CLIs sit on the
+// engine's shared driver and take common flags: -parallel, -backend,
+// -procs, -json, -store, -progress (periodic shard-completion reporting
+// to stderr, off by default) and -scale (multiply trial-style counts —
+// larger Figure 7 arms, more Figure 11 bits — for sweeps that span
+// processes).
 //
 // # Results store and regression tracking
 //
@@ -74,12 +91,16 @@
 //
 // The resultstore CLI drives the store: list and show browse history,
 // diff classifies two records (exit non-zero on regression), check
-// reruns every experiment at the committed baseline's parameters and
-// fails on any regression-class change — the CI gate — and baseline
-// (re)writes the small-trial baseline records committed under
-// internal/results/testdata/baseline. Golden-file tests in
-// internal/results additionally pin the canonical encodings byte-for-
-// byte (regenerate both with go test ./internal/results -update).
+// reruns every experiment at the committed baseline's parameters —
+// through either backend, via -backend/-procs — and fails on any
+// regression-class change (the CI gate, run both in-process and through
+// the subprocess backend), baseline (re)writes the small-trial baseline
+// records committed under internal/results/testdata/baseline, and bless
+// promotes each experiment's newest store record to the committed
+// baseline in one command, stamping a provenance note (date, reason,
+// commit) for review. Golden-file tests in internal/results additionally
+// pin the canonical encodings byte-for-byte (regenerate both with go
+// test ./internal/results -update).
 //
 // See README.md for a tour. The root package is a facade over the
 // internal packages; the cmd/ tools and examples/ programs show it in

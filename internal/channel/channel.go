@@ -71,26 +71,53 @@ func MeasureContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.PoC == nil {
 		return Result{}, fmt.Errorf("channel: nil PoC")
 	}
-	// Draw the transmitted bits upfront, in the same rng order the serial
-	// loop drew them between trial batches.
-	rng := cache.NewRand(cfg.SeedBase | 1)
-	bits := make([]int, cfg.Bits)
-	for b := range bits {
-		bits[b] = rng.Intn(2)
-	}
-	seed0 := cfg.SeedBase*1_000_003 + 17
+	bits := DrawBits(cfg.SeedBase, cfg.Bits)
 	outs, err := runner.Map(ctx, cfg.Bits*cfg.Reps, cfg.Workers,
 		func(_ context.Context, j int) (core.BitOutcome, error) {
-			return cfg.PoC.RunBit(bits[j/cfg.Reps], seed0+uint64(j)+1)
+			return cfg.PoC.RunBit(bits[j/cfg.Reps], TrialSeed(cfg.SeedBase, j))
 		})
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Reps: cfg.Reps, Bits: cfg.Bits}
-	for b := 0; b < cfg.Bits; b++ {
+	return DecodePoint(cfg.Reps, bits, outs), nil
+}
+
+// DrawBits returns the n transmitted bits of a measurement at seedBase,
+// drawn upfront in the same rng order the original serial loop drew them
+// between trial batches. Pure function of its arguments, so any shard can
+// recompute the bit it transmits.
+func DrawBits(seedBase uint64, n int) []int {
+	rng := cache.NewRand(seedBase | 1)
+	bits := make([]int, n)
+	for b := range bits {
+		bits[b] = rng.Intn(2)
+	}
+	return bits
+}
+
+// TrialSeed returns the seed of flattened trial j (= bit*reps + rep) of a
+// measurement at seedBase: seedBase*1_000_003 + 17 + j + 1, the exact
+// sequence the original serial loop's seed++ produced.
+func TrialSeed(seedBase uint64, j int) uint64 {
+	return seedBase*1_000_003 + 17 + uint64(j) + 1
+}
+
+// PointSeedBase returns curve point i's measurement seed base in a
+// Figure 11 sweep rooted at seedBase.
+func PointSeedBase(seedBase uint64, point int) uint64 {
+	return seedBase + uint64(point)*7_919
+}
+
+// DecodePoint folds the len(bits)*reps trial outcomes of one curve point
+// (flattened bit-major, trial j = bit*reps + rep, in index order) into the
+// majority-decoded Result — the serial-order aggregation shared by
+// MeasureContext and the experiment engine.
+func DecodePoint(reps int, bits []int, outs []core.BitOutcome) Result {
+	res := Result{Reps: reps, Bits: len(bits)}
+	for b := 0; b < len(bits); b++ {
 		votes := [2]int{}
-		for rep := 0; rep < cfg.Reps; rep++ {
-			out := outs[b*cfg.Reps+rep]
+		for rep := 0; rep < reps; rep++ {
+			out := outs[b*reps+rep]
 			res.TotalCycles += out.Cycles
 			if out.OK {
 				votes[out.Decoded]++
@@ -109,7 +136,7 @@ func MeasureContext(ctx context.Context, cfg Config) (Result, error) {
 	res.ErrorRate = float64(res.Errors) / float64(res.Bits)
 	res.CyclesPerBit = float64(res.TotalCycles) / float64(res.Bits)
 	res.Bps = NominalGHz * 1e9 / res.CyclesPerBit
-	return res, nil
+	return res
 }
 
 // Curve measures one point per repetition count, producing a Figure 11
@@ -127,7 +154,7 @@ func CurveParallel(ctx context.Context, poc *core.PoC, repsList []int, bits int,
 	for i, reps := range repsList {
 		r, err := MeasureContext(ctx, Config{
 			PoC: poc, Reps: reps, Bits: bits,
-			SeedBase: seedBase + uint64(i)*7_919,
+			SeedBase: PointSeedBase(seedBase, i),
 			Workers:  workers,
 		})
 		if err != nil {
@@ -153,4 +180,16 @@ func DCacheFigure11() *core.PoC {
 // operating point (DRAM jitter shifts the RS drain against the squash).
 func ICacheFigure11() *core.PoC {
 	return core.NewICachePoC("invisispec-spectre", 120)
+}
+
+// PoCByName returns the calibrated Figure 11 PoC for a persisted name.
+func PoCByName(name string) (*core.PoC, error) {
+	switch name {
+	case "dcache":
+		return DCacheFigure11(), nil
+	case "icache":
+		return ICacheFigure11(), nil
+	default:
+		return nil, fmt.Errorf("channel: unknown poc %q (want dcache or icache)", name)
+	}
 }

@@ -27,6 +27,19 @@ func Run(t *testing.T, stdin string, args ...string) string {
 	return stdout
 }
 
+// RunCapture is Run returning stderr alongside stdout, for asserting on
+// diagnostics that must stay off stdout (-progress reporting, -store
+// notices). Unlike Run it tolerates an empty stdout: some invocations
+// legitimately write only to stderr.
+func RunCapture(t *testing.T, stdin string, args ...string) (string, string) {
+	t.Helper()
+	stdout, stderr, err := run(t, stdin, args...)
+	if err != nil {
+		t.Fatalf("%s: %v", strings.Join(args, " "), err)
+	}
+	return stdout, stderr
+}
+
 // RunFail is Run for invocations that must exit non-zero (regression
 // gates, validation errors). It fails the test when the command succeeds,
 // and returns the combined stdout+stderr for assertions on diagnostics.

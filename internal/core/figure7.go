@@ -41,24 +41,45 @@ func Figure7(trials, jitter int, seedBase uint64) (*Figure7Result, error) {
 // seedBase + 2*trial + secret — so results are bit-identical at any worker
 // count.
 func Figure7Parallel(ctx context.Context, trials, jitter int, seedBase uint64, workers int) (*Figure7Result, error) {
-	if trials < 1 {
-		return nil, fmt.Errorf("core: need at least one trial")
+	n, err := Figure7Shards(trials)
+	if err != nil {
+		return nil, err
 	}
-	// Shard j covers secret j/trials, trial j%trials; the flattening keeps
-	// baseline shards in [0, trials) and interference in [trials, 2*trials).
-	lats, err := runner.Map(ctx, 2*trials, workers, func(_ context.Context, j int) (float64, error) {
-		secret, i := j/trials, j%trials
-		return measureTargetLatency(secret, jitter, seedBase+uint64(2*i+secret))
+	lats, err := runner.Map(ctx, n, workers, func(_ context.Context, j int) (float64, error) {
+		return Figure7Shard(trials, jitter, seedBase, j)
 	})
 	if err != nil {
 		return nil, err
 	}
-	// Full slice expressions keep the two arms from aliasing: an append to
-	// Baseline must reallocate rather than clobber Interference[0].
-	res := &Figure7Result{
-		Baseline:     lats[:trials:trials],
-		Interference: lats[trials:],
+	return BuildFigure7Result(lats[:trials:trials], lats[trials:]), nil
+}
+
+// Figure7Shards returns the Figure 7 shard count for a per-arm trial
+// count: one shard per (secret, trial) pair.
+func Figure7Shards(trials int) (int, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("core: need at least one trial")
 	}
+	return 2 * trials, nil
+}
+
+// Figure7Shard runs shard j of a Figure 7 measurement. Shard j covers
+// secret j/trials, trial j%trials — the flattening keeps baseline shards
+// in [0, trials) and interference in [trials, 2*trials) — at seed
+// seedBase + 2*trial + secret, the exact sequence the original serial
+// loop produced. It is a pure function of its arguments, which is what
+// lets shards run on any backend (goroutine or subprocess) in any order.
+func Figure7Shard(trials, jitter int, seedBase uint64, j int) (float64, error) {
+	secret, i := j/trials, j%trials
+	return measureTargetLatency(secret, jitter, seedBase+uint64(2*i+secret))
+}
+
+// BuildFigure7Result assembles the Figure 7 histogram result from the two
+// arms' per-trial latencies, in serial-loop order. The full slice
+// expression below (in Figure7Parallel) keeps the arms from aliasing; here
+// the slices are taken as given.
+func BuildFigure7Result(baseline, interference []float64) *Figure7Result {
+	res := &Figure7Result{Baseline: baseline, Interference: interference}
 	lo, hi := rangeOf(append(append([]float64{}, res.Baseline...), res.Interference...))
 	res.BaseHist = stats.NewHistogram(lo, hi, 30)
 	res.IntHist = stats.NewHistogram(lo, hi, 30)
@@ -66,7 +87,7 @@ func Figure7Parallel(ctx context.Context, trials, jitter int, seedBase uint64, w
 	res.IntHist.AddAll(res.Interference)
 	res.Separation = stats.Summarize(res.Interference).Mean - stats.Summarize(res.Baseline).Mean
 	res.Overlap = stats.Overlap(res.BaseHist, res.IntHist)
-	return res, nil
+	return res
 }
 
 // measureTargetLatency runs one traced GDNPEU trial and extracts the

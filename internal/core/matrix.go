@@ -120,22 +120,34 @@ func VulnerabilityMatrix(schemeNames []string) ([]MatrixCell, error) {
 // Classify builds its own deterministic (seedless) machine, so cell order
 // and contents match the serial loop exactly at any worker count.
 func VulnerabilityMatrixParallel(ctx context.Context, schemeNames []string, workers int) ([]MatrixCell, error) {
-	combos := Combos()
 	if len(schemeNames) == 0 {
 		return nil, nil
 	}
-	n := len(combos) * len(schemeNames)
-	return runner.Map(ctx, n, workers, func(_ context.Context, j int) (MatrixCell, error) {
-		combo := combos[j/len(schemeNames)]
-		name := schemeNames[j%len(schemeNames)]
-		g := combo[0].(Gadget)
-		ord := combo[1].(Ordering)
-		cell, err := Classify(name, g, ord)
-		if err != nil {
-			return MatrixCell{}, fmt.Errorf("core: %s/%s/%s: %w", name, g, ord, err)
-		}
-		return cell, nil
+	return runner.Map(ctx, MatrixShards(schemeNames), workers, func(_ context.Context, j int) (MatrixCell, error) {
+		return MatrixShard(schemeNames, j)
 	})
+}
+
+// MatrixShards returns the Table 1 shard count: one per
+// scheme×gadget×ordering cell.
+func MatrixShards(schemeNames []string) int {
+	return len(Combos()) * len(schemeNames)
+}
+
+// MatrixShard classifies cell j of the scheme grid: combo j/len(schemes),
+// scheme j%len(schemes) — the serial loop's cell order. Classification is
+// seedless and each shard builds its own machine, so MatrixShard is a pure
+// function of (schemeNames, j) and runs identically on any backend.
+func MatrixShard(schemeNames []string, j int) (MatrixCell, error) {
+	combo := Combos()[j/len(schemeNames)]
+	name := schemeNames[j%len(schemeNames)]
+	g := combo[0].(Gadget)
+	ord := combo[1].(Ordering)
+	cell, err := Classify(name, g, ord)
+	if err != nil {
+		return MatrixCell{}, fmt.Errorf("core: %s/%s/%s: %w", name, g, ord, err)
+	}
+	return cell, nil
 }
 
 // ExpectedTable1 returns the paper's Table 1 as a map from

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"specinterference/internal/results"
+	"specinterference/internal/runner"
+)
+
+// Backend executes an experiment's shards. Implementations must return
+// the concrete shard values in index order; under the spec purity
+// contract every backend then produces bit-identical aggregates.
+type Backend interface {
+	// Name is the backend's CLI name (-backend flag value).
+	Name() string
+	// Run executes shards [0, n) of spec at params and returns their
+	// values in index order. done, when non-nil, is invoked once per
+	// completed shard (possibly concurrently).
+	Run(ctx context.Context, spec *Spec, p results.Params, n int, done func()) ([]any, error)
+}
+
+// InProcess runs shards on the existing bounded worker pool
+// (internal/runner) inside the current process — the default backend.
+type InProcess struct {
+	// Workers bounds shard concurrency (0 = one worker per CPU).
+	Workers int
+}
+
+// Name implements Backend.
+func (InProcess) Name() string { return "inprocess" }
+
+// Run implements Backend.
+func (b InProcess) Run(ctx context.Context, spec *Spec, p results.Params, n int, done func()) ([]any, error) {
+	state, err := spec.prepare(p)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Map(ctx, n, b.Workers, func(ctx context.Context, i int) (any, error) {
+		v, err := spec.Run(ctx, state, p, i)
+		if err == nil && done != nil {
+			done()
+		}
+		return v, err
+	})
+}
+
+// NewBackend constructs a backend from its CLI name: "inprocess" (worker
+// goroutines, the workers knob) or "subprocess" (worker processes, the
+// procs knob, workers goroutines inside each).
+func NewBackend(name string, procs, workers int) (Backend, error) {
+	switch name {
+	case "", "inprocess":
+		return InProcess{Workers: workers}, nil
+	case "subprocess":
+		return Subprocess{Procs: procs, Workers: workers}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown backend %q (want inprocess or subprocess)", name)
+	}
+}

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"specinterference/internal/results"
+)
+
+// backendsUnderTest is the worker/process-count matrix the equivalence
+// sweep runs: the determinism contract says every entry produces the
+// same canonical signature.
+func backendsUnderTest() []Backend {
+	return []Backend{
+		InProcess{Workers: 1},
+		InProcess{Workers: 3},
+		Subprocess{Procs: 1},
+		Subprocess{Procs: 2},
+		Subprocess{Procs: 3, Workers: 2},
+	}
+}
+
+// TestBackendEquivalence runs all four experiments at the committed
+// baseline parameters on every backend configuration and requires the
+// canonical signatures to be byte-identical — to each other, to the
+// legacy direct path (results.Regenerate), and to the committed PR 2
+// baseline records. This is the engine's core guarantee: the backend is
+// purely a wall-clock knob.
+func TestBackendEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes and full small-trial sweeps")
+	}
+	for _, exp := range results.Experiments() {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			params, err := results.BaselineParams(exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed := committedBaselineHash(t, exp)
+
+			legacy, err := results.Regenerate(context.Background(), exp, params, 2)
+			if err != nil {
+				t.Fatalf("legacy regenerate: %v", err)
+			}
+			if legacy.Hash != committed {
+				t.Fatalf("legacy path hash %.12s != committed baseline %.12s", legacy.Hash, committed)
+			}
+
+			spec, err := Lookup(exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range backendsUnderTest() {
+				rec, err := Run(context.Background(), spec, params, b, nil)
+				if err != nil {
+					t.Fatalf("%s %+v: %v", b.Name(), b, err)
+				}
+				if err := rec.Validate(); err != nil {
+					t.Errorf("%s %+v: %v", b.Name(), b, err)
+				}
+				if rec.Hash != committed {
+					t.Errorf("%s %+v: hash %.12s != committed baseline %.12s",
+						b.Name(), b, rec.Hash, committed)
+				}
+			}
+		})
+	}
+}
+
+// committedBaselineHash loads the PR 2 baseline record's signature.
+func committedBaselineHash(t *testing.T, exp string) string {
+	t.Helper()
+	path := filepath.Join("..", "results", "testdata", "baseline", exp+".jsonl")
+	recs, err := results.ReadFile(path)
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatalf("committed baseline %s is empty", path)
+	}
+	return recs[len(recs)-1].Hash
+}
+
+// TestSubprocessPayloadEquality goes beyond hashes for one experiment:
+// the full canonical JSON must match across backends, catching any
+// hash-collision paranoia and making diffs readable on failure.
+func TestSubprocessPayloadEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	spec, err := Lookup("figure11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := results.Params{PoCs: []string{"dcache", "icache"}, Bits: 3, Reps: []int{1, 3}, Seed: 9}
+	in, err := Run(context.Background(), spec, p, InProcess{Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Run(context.Background(), spec, p, Subprocess{Procs: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inJSON, err := in.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	subJSON, err := sub.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(inJSON) != string(subJSON) {
+		t.Errorf("canonical JSON diverged across backends:\n  inprocess:  %s\n  subprocess: %s", inJSON, subJSON)
+	}
+}

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// progressReporter periodically reports shard completion to a writer
+// (stderr on the CLIs' -progress flag). It prints one line at start, one
+// every interval, and one at finish, so even sweeps shorter than the
+// interval produce a visible begin/end pair. Reporting never touches
+// stdout: golden output stays byte-identical whether or not it is on.
+type progressReporter struct {
+	w        io.Writer
+	label    string
+	total    int
+	started  time.Time
+	done     atomic.Int64
+	lastSeen int64
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// startProgress begins reporting `total` shards under `label` every
+// interval. Call tick once per completed shard and finish when done.
+func startProgress(w io.Writer, label string, total int, interval time.Duration) *progressReporter {
+	p := &progressReporter{
+		w: w, label: label, total: total,
+		started: time.Now(), stop: make(chan struct{}),
+	}
+	p.print()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				// Quiet while nothing completed: long shards should not
+				// produce a wall of identical lines.
+				if n := p.done.Load(); n != p.lastSeen {
+					p.lastSeen = n
+					p.print()
+				}
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// tick records one completed shard; safe for concurrent use.
+func (p *progressReporter) tick() { p.done.Add(1) }
+
+// finish stops the reporter and prints the final completion line.
+func (p *progressReporter) finish() {
+	if p == nil {
+		return
+	}
+	close(p.stop)
+	p.wg.Wait()
+	p.print()
+}
+
+// print emits one status line.
+func (p *progressReporter) print() {
+	n := p.done.Load()
+	pct := 100.0
+	if p.total > 0 {
+		pct = 100 * float64(n) / float64(p.total)
+	}
+	fmt.Fprintf(p.w, "%s: %d/%d shards (%.0f%%, %s)\n",
+		p.label, n, p.total, pct, time.Since(p.started).Round(time.Millisecond))
+}

@@ -1,0 +1,297 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"reflect"
+	"sync"
+
+	"specinterference/internal/results"
+	"specinterference/internal/runner"
+)
+
+// workerEnvVar marks a process as a shard worker; the Subprocess backend
+// sets it (alongside the workerArg argv marker) on every child it spawns.
+const workerEnvVar = "SPECINTERFERENCE_SHARD_WORKER"
+
+// workerArg is the hidden CLI argument naming worker mode, for humans
+// reading `ps` output and for invoking the mode by hand.
+const workerArg = "-shard-worker"
+
+// Subprocess fans shard ranges out across re-exec'd copies of the current
+// binary: each worker process receives one contiguous shard range (as a
+// JSON request on stdin), runs it through the in-process pool, and
+// streams shard results back as JSON lines on stdout. The parent places
+// results by shard index, so collection is ordered no matter how workers
+// interleave — the same determinism contract as InProcess, across
+// process boundaries. Stderr passes through, keeping worker diagnostics
+// visible.
+type Subprocess struct {
+	// Procs is the worker-process count (0 = one per CPU); clamped to the
+	// shard count.
+	Procs int
+	// Workers bounds shard concurrency inside each worker process
+	// (0 = one goroutine per shard range, i.e. serial within the worker —
+	// the process count is the parallelism knob).
+	Workers int
+}
+
+// Name implements Backend.
+func (Subprocess) Name() string { return "subprocess" }
+
+// workerRequest is the parent-to-worker job description.
+type workerRequest struct {
+	Experiment string         `json:"experiment"`
+	Params     results.Params `json:"params"`
+	// Start and End bound the worker's shard range: [Start, End).
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Workers bounds shard concurrency inside the worker.
+	Workers int `json:"workers"`
+}
+
+// workerLine is one worker-to-parent stdout line: a shard's JSON-encoded
+// result value, or a shard failure.
+type workerLine struct {
+	Shard int             `json:"shard"`
+	Value json.RawMessage `json:"value,omitempty"`
+	Err   string          `json:"err,omitempty"`
+}
+
+// Run implements Backend.
+func (b Subprocess) Run(ctx context.Context, spec *Spec, p results.Params, n int, done func()) ([]any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n == 0 {
+		return nil, ctx.Err()
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: locate executable for subprocess backend: %w", err)
+	}
+	procs := runner.Workers(b.Procs, n)
+	out := make([]any, n)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	// Balanced contiguous ranges: the first n%procs workers take one
+	// extra shard.
+	size, rem := n/procs, n%procs
+	start := 0
+	for w := 0; w < procs; w++ {
+		end := start + size
+		if w < rem {
+			end++
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			if err := b.runWorker(ctx, exe, spec, p, start, end, out, done); err != nil {
+				fail(err)
+			}
+		}(start, end)
+		start = end
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runWorker spawns one worker process over shards [start, end), decoding
+// its streamed results into out by shard index.
+func (b Subprocess) runWorker(ctx context.Context, exe string, spec *Spec, p results.Params, start, end int, out []any, done func()) error {
+	req, err := json.Marshal(workerRequest{
+		Experiment: spec.Name, Params: p,
+		Start: start, End: end, Workers: b.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	cmd := exec.CommandContext(ctx, exe, workerArg)
+	cmd.Env = append(os.Environ(), workerEnvVar+"=1")
+	cmd.Stdin = bytes.NewReader(req)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("experiment: spawn shard worker: %w", err)
+	}
+
+	// seen tracks per-shard coverage rather than a bare count, so a
+	// misbehaving worker that duplicates one shard and drops another is a
+	// clean protocol error, not a nil value reaching the aggregator.
+	seen := make([]bool, end-start)
+	got, scanErr := 0, error(nil)
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	for scanErr == nil && sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var wl workerLine
+		if err := json.Unmarshal(line, &wl); err != nil {
+			scanErr = fmt.Errorf("experiment: worker [%d,%d): bad result line: %w", start, end, err)
+			break
+		}
+		switch {
+		case wl.Err != "":
+			scanErr = fmt.Errorf("experiment: shard %d: %s", wl.Shard, wl.Err)
+		case wl.Shard < start || wl.Shard >= end:
+			scanErr = fmt.Errorf("experiment: worker [%d,%d) returned out-of-range shard %d", start, end, wl.Shard)
+		case seen[wl.Shard-start]:
+			scanErr = fmt.Errorf("experiment: worker [%d,%d) returned shard %d twice", start, end, wl.Shard)
+		default:
+			v, err := decodeShard(spec, wl.Value)
+			if err != nil {
+				scanErr = fmt.Errorf("experiment: shard %d: %w", wl.Shard, err)
+				break
+			}
+			out[wl.Shard] = v
+			seen[wl.Shard-start] = true
+			got++
+			if done != nil {
+				done()
+			}
+		}
+	}
+	if scanErr == nil {
+		scanErr = sc.Err()
+	}
+	if scanErr != nil {
+		// Stop the worker before reaping it; the parent's context cancel
+		// does this too, but don't rely on the caller.
+		cmd.Process.Kill()
+	}
+	waitErr := cmd.Wait()
+	if scanErr != nil {
+		return scanErr
+	}
+	if waitErr != nil {
+		return fmt.Errorf("experiment: worker [%d,%d): %w", start, end, waitErr)
+	}
+	if got != end-start {
+		return fmt.Errorf("experiment: worker [%d,%d) returned %d of %d shard results", start, end, got, end-start)
+	}
+	return nil
+}
+
+// decodeShard unmarshals a shard value into the spec's concrete shard
+// type, returning the value (not the pointer) so aggregation sees the
+// same concrete types the in-process backend produces.
+func decodeShard(spec *Spec, raw json.RawMessage) (any, error) {
+	ptr := spec.NewShard()
+	if err := json.Unmarshal(raw, ptr); err != nil {
+		return nil, err
+	}
+	return reflect.ValueOf(ptr).Elem().Interface(), nil
+}
+
+// RunWorkerIfRequested turns the process into a shard worker — reading
+// one workerRequest from stdin, streaming shard results to stdout, then
+// exiting — when the Subprocess backend spawned it (workerEnvVar set, or
+// workerArg as the first argument). It returns without side effects
+// otherwise. Every binary that serves as a subprocess-backend worker
+// calls it before any flag parsing: the experiment CLIs (via Main),
+// resultstore, and the test binaries that exercise the backend (via
+// TestMain).
+func RunWorkerIfRequested() {
+	if os.Getenv(workerEnvVar) == "" && !(len(os.Args) > 1 && os.Args[1] == workerArg) {
+		return
+	}
+	os.Exit(workerMain(os.Stdin, os.Stdout, os.Stderr))
+}
+
+// workerMain is the worker-process body: decode the request, run the
+// shard range on the in-process pool, stream each shard's result as it
+// completes. Returns the process exit code.
+func workerMain(stdin io.Reader, stdout, stderr io.Writer) int {
+	var req workerRequest
+	if err := json.NewDecoder(stdin).Decode(&req); err != nil {
+		fmt.Fprintln(stderr, "shard-worker: bad request:", err)
+		return 2
+	}
+	spec, err := Lookup(req.Experiment)
+	if err != nil {
+		fmt.Fprintln(stderr, "shard-worker:", err)
+		return 2
+	}
+	if req.Start < 0 || req.End < req.Start {
+		fmt.Fprintf(stderr, "shard-worker: bad shard range [%d,%d)\n", req.Start, req.End)
+		return 2
+	}
+	state, err := spec.prepare(req.Params)
+	if err != nil {
+		fmt.Fprintln(stderr, "shard-worker:", err)
+		return 1
+	}
+
+	bw := bufio.NewWriter(stdout)
+	defer bw.Flush()
+	var mu sync.Mutex
+	emit := func(wl workerLine) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if err := json.NewEncoder(bw).Encode(wl); err != nil {
+			return err
+		}
+		// Flush per line so the parent sees progress as shards complete.
+		return bw.Flush()
+	}
+
+	// Workers<=0 means serial inside the worker: with one range per
+	// process, the process count is the parallelism knob.
+	workers := req.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	_, err = runner.Map(context.Background(), req.End-req.Start, workers,
+		func(ctx context.Context, i int) (struct{}, error) {
+			shard := req.Start + i
+			v, err := spec.Run(ctx, state, req.Params, shard)
+			if err != nil {
+				emit(workerLine{Shard: shard, Err: err.Error()})
+				return struct{}{}, err
+			}
+			raw, err := json.Marshal(v)
+			if err != nil {
+				emit(workerLine{Shard: shard, Err: err.Error()})
+				return struct{}{}, err
+			}
+			return struct{}{}, emit(workerLine{Shard: shard, Value: raw})
+		})
+	if err != nil {
+		fmt.Fprintln(stderr, "shard-worker:", err)
+		return 1
+	}
+	return 0
+}

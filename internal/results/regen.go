@@ -50,7 +50,7 @@ func Regenerate(ctx context.Context, experiment string, p Params, workers int) (
 	case ExpFigure11:
 		var curves []CurveInput
 		for _, name := range p.PoCs {
-			poc, err := pocByName(name)
+			poc, err := channel.PoCByName(name)
 			if err != nil {
 				return nil, err
 			}
@@ -75,17 +75,5 @@ func Regenerate(ctx context.Context, experiment string, p Params, workers int) (
 		return NewFigure12Record(res, p.Iters, p.Schemes)
 	default:
 		return nil, fmt.Errorf("results: unknown experiment %q", experiment)
-	}
-}
-
-// pocByName returns the calibrated Figure 11 PoC for a name.
-func pocByName(name string) (*core.PoC, error) {
-	switch name {
-	case "dcache":
-		return channel.DCacheFigure11(), nil
-	case "icache":
-		return channel.ICacheFigure11(), nil
-	default:
-		return nil, fmt.Errorf("results: unknown poc %q (want dcache or icache)", name)
 	}
 }

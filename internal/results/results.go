@@ -82,6 +82,13 @@ type Meta struct {
 	// Workers is the worker-goroutine count the run used (0 = one per
 	// CPU). Results are bit-identical at any value, hence metadata.
 	Workers int `json:"workers,omitempty"`
+	// Backend names the execution backend the run used ("inprocess",
+	// "subprocess"); like Workers it never affects results, hence
+	// metadata, but provenance should say how a run was produced.
+	Backend string `json:"backend,omitempty"`
+	// Procs is the subprocess backend's worker-process count (0 = one
+	// per CPU); zero for in-process runs.
+	Procs int `json:"procs,omitempty"`
 	// WallMillis is the run's wall-clock duration in milliseconds.
 	WallMillis int64 `json:"wall_ms,omitempty"`
 	// Note is a free-form annotation ("baseline", ticket numbers, ...).

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Store is an append-only directory of run records: one JSONL file per
@@ -71,6 +72,18 @@ func (s *Store) Append(rec *Record) error {
 		return fmt.Errorf("results: append: %w", err)
 	}
 	return f.Close()
+}
+
+// RecordRun stamps a sealed record's volatile metadata (git revision,
+// worker count, wall time) and appends it to the store at dir, creating
+// the store if needed — the shared tail of every -store code path.
+func RecordRun(dir string, rec *Record, workers int, wall time.Duration) error {
+	store, err := Open(dir)
+	if err != nil {
+		return err
+	}
+	rec.Stamp(workers, wall)
+	return store.Append(rec)
 }
 
 // Load returns every record of one experiment, oldest first. A missing

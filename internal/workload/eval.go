@@ -63,6 +63,90 @@ type EvalResult struct {
 	Mean map[string]float64
 }
 
+// Cell is one workload×policy measurement of the Figure 12 grid.
+type Cell struct {
+	// Cycles is the kernel's execution time under the policy.
+	Cycles int64 `json:"cycles"`
+	// IPC is the run's instructions per cycle (diagnostics).
+	IPC float64 `json:"ipc"`
+}
+
+// Normalize fills EvalConfig defaults (schemes, cores) the way Evaluate
+// does, so shard planning, execution and aggregation all see one config.
+func (cfg EvalConfig) Normalize() EvalConfig {
+	if cfg.Iters <= 0 {
+		cfg.Iters = DefaultEvalConfig().Iters
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = DefaultEvalConfig().MaxCycles
+	}
+	if len(cfg.Schemes) == 0 {
+		cfg.Schemes = DefaultEvalConfig().Schemes
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	return cfg
+}
+
+// Policies returns the policy axis of the Figure 12 grid: the unsafe
+// baseline followed by the configured schemes.
+func (cfg EvalConfig) Policies() []string {
+	return append([]string{"unsafe"}, cfg.Schemes...)
+}
+
+// EvalShards returns the Figure 12 shard count for a normalized config:
+// one per workload×policy cell, baseline included.
+func EvalShards(cfg EvalConfig) int {
+	return len(All()) * len(cfg.Policies())
+}
+
+// EvalShard runs cell j of the grid: workload j/len(policies) under
+// policy j%len(policies), where policy 0 is the unsafe baseline. The
+// sweep is seedless and every run builds its own system, so EvalShard is
+// a pure function of (cfg, j) and runs identically on any backend.
+func EvalShard(cfg EvalConfig, j int) (Cell, error) {
+	policies := cfg.Policies()
+	cycles, ipc, err := runOnce(All()[j/len(policies)], policies[j%len(policies)], cfg)
+	return Cell{Cycles: cycles, IPC: ipc}, err
+}
+
+// AggregateCells folds the EvalShards(cfg) cells (in shard-index order)
+// into the Figure 12 result, replaying the serial loop's aggregation
+// order so sums and geomeans are bit-identical however the cells ran.
+func AggregateCells(cfg EvalConfig, cells []Cell) *EvalResult {
+	ws := All()
+	np := len(cfg.Policies())
+	res := &EvalResult{
+		Geomean: map[string]float64{},
+		Mean:    map[string]float64{},
+	}
+	logSum := map[string]float64{}
+	sum := map[string]float64{}
+	for wi, w := range ws {
+		base := cells[wi*np]
+		row := EvalRow{
+			Workload:       w.Name,
+			BaselineCycles: base.Cycles,
+			BaselineIPC:    base.IPC,
+			Slowdown:       map[string]float64{},
+		}
+		for si, s := range cfg.Schemes {
+			sd := float64(cells[wi*np+1+si].Cycles) / float64(base.Cycles)
+			row.Slowdown[s] = sd
+			logSum[s] += math.Log(sd)
+			sum[s] += sd
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	n := float64(len(res.Rows))
+	for _, s := range cfg.Schemes {
+		res.Geomean[s] = math.Exp(logSum[s] / n)
+		res.Mean[s] = sum[s] / n
+	}
+	return res
+}
+
 // runOnce executes one kernel under one policy and returns cycles.
 func runOnce(w Workload, policyName string, cfg EvalConfig) (int64, float64, error) {
 	prog, setup := w.Build(cfg.Iters)
@@ -109,56 +193,15 @@ func EvaluateContext(ctx context.Context, cfg EvalConfig) (*EvalResult, error) {
 	if cfg.Iters <= 0 {
 		return nil, fmt.Errorf("workload: iters must be positive")
 	}
-	if len(cfg.Schemes) == 0 {
-		cfg.Schemes = DefaultEvalConfig().Schemes
-	}
-	if cfg.Cores <= 0 {
-		cfg.Cores = 1
-	}
-	// Shard j covers workload j/(1+schemes) under policy j%(1+schemes),
-	// where policy 0 is the unsafe baseline.
-	ws := All()
-	policies := append([]string{"unsafe"}, cfg.Schemes...)
-	type cell struct {
-		cycles int64
-		ipc    float64
-	}
-	cells, err := runner.Map(ctx, len(ws)*len(policies), cfg.Workers,
-		func(_ context.Context, j int) (cell, error) {
-			cycles, ipc, err := runOnce(ws[j/len(policies)], policies[j%len(policies)], cfg)
-			return cell{cycles, ipc}, err
+	cfg = cfg.Normalize()
+	cells, err := runner.Map(ctx, EvalShards(cfg), cfg.Workers,
+		func(_ context.Context, j int) (Cell, error) {
+			return EvalShard(cfg, j)
 		})
 	if err != nil {
 		return nil, err
 	}
-	res := &EvalResult{
-		Geomean: map[string]float64{},
-		Mean:    map[string]float64{},
-	}
-	logSum := map[string]float64{}
-	sum := map[string]float64{}
-	for wi, w := range ws {
-		base := cells[wi*len(policies)]
-		row := EvalRow{
-			Workload:       w.Name,
-			BaselineCycles: base.cycles,
-			BaselineIPC:    base.ipc,
-			Slowdown:       map[string]float64{},
-		}
-		for si, s := range cfg.Schemes {
-			sd := float64(cells[wi*len(policies)+1+si].cycles) / float64(base.cycles)
-			row.Slowdown[s] = sd
-			logSum[s] += math.Log(sd)
-			sum[s] += sd
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	n := float64(len(res.Rows))
-	for _, s := range cfg.Schemes {
-		res.Geomean[s] = math.Exp(logSum[s] / n)
-		res.Mean[s] = sum[s] / n
-	}
-	return res, nil
+	return AggregateCells(cfg, cells), nil
 }
 
 // Format renders the result as a Figure 12 style table.

@@ -2,7 +2,6 @@ package specinterference
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"specinterference/internal/asm"
@@ -10,6 +9,7 @@ import (
 	"specinterference/internal/channel"
 	"specinterference/internal/core"
 	"specinterference/internal/emu"
+	"specinterference/internal/experiment"
 	"specinterference/internal/isa"
 	"specinterference/internal/mem"
 	"specinterference/internal/results"
@@ -281,25 +281,7 @@ func OpenResultStore(dir string) (*ResultStore, error) { return results.Open(dir
 // the store if needed — the path the experiment binaries' -store flag
 // shares.
 func RecordRun(dir string, rec *RunRecord, workers int, wall time.Duration) error {
-	store, err := results.Open(dir)
-	if err != nil {
-		return err
-	}
-	rec.Stamp(workers, wall)
-	return store.Append(rec)
-}
-
-// RecordRunNotice is the experiment binaries' shared -store tail: given a
-// freshly constructed record (and its construction error), it records the
-// run and returns the one-line confirmation for stderr.
-func RecordRunNotice(dir string, rec *RunRecord, err error, workers int, start time.Time) (string, error) {
-	if err != nil {
-		return "", err
-	}
-	if err := RecordRun(dir, rec, workers, time.Since(start)); err != nil {
-		return "", err
-	}
-	return fmt.Sprintf("recorded %s run %.12s to %s", rec.Experiment, rec.Hash, dir), nil
+	return results.RecordRun(dir, rec, workers, wall)
 }
 
 // NewFigure7Record wraps a Figure 7 measurement as a sealed run record.
@@ -326,9 +308,60 @@ func NewFigure12Record(res *EvalResult, iters int, schemeNames []string) (*RunRe
 // statistical drift, regression, or incomparable.
 func DiffRunRecords(old, new *RunRecord) *RunDiffReport { return results.Diff(old, new) }
 
-// RegenerateRecord reruns one experiment at the given parameters.
+// Experiment-engine types: every experiment is a registered spec (shard
+// plan + pure per-shard run function + serial-order aggregator) executed
+// over a pluggable backend; see internal/experiment.
+type (
+	// ExperimentSpec declares one experiment's decomposition into shards.
+	ExperimentSpec = experiment.Spec
+	// ExperimentBackend executes an experiment's shards: the in-process
+	// worker pool, or re-exec'd subprocess workers.
+	ExperimentBackend = experiment.Backend
+)
+
+// InProcessBackend executes shards on a bounded goroutine pool in the
+// current process (workers 0 = one per CPU) — the default backend.
+func InProcessBackend(workers int) ExperimentBackend {
+	return experiment.InProcess{Workers: workers}
+}
+
+// SubprocessBackend fans shard ranges out across re-exec'd copies of the
+// current binary (procs 0 = one per CPU), running workers goroutines
+// inside each worker process (0 = serial). By the shard purity contract
+// its results are bit-identical to the in-process backend's.
+func SubprocessBackend(procs, workers int) ExperimentBackend {
+	return experiment.Subprocess{Procs: procs, Workers: workers}
+}
+
+// NewExperimentBackend constructs a backend from its CLI name,
+// "inprocess" or "subprocess".
+func NewExperimentBackend(name string, procs, workers int) (ExperimentBackend, error) {
+	return experiment.NewBackend(name, procs, workers)
+}
+
+// RunExperimentWorkerIfRequested turns the process into a shard worker
+// when the subprocess backend spawned it, and returns without side
+// effects otherwise. Binaries that run experiments through
+// SubprocessBackend must call it before any flag parsing.
+func RunExperimentWorkerIfRequested() { experiment.RunWorkerIfRequested() }
+
+// ExperimentNames lists the registered experiment specs.
+func ExperimentNames() []string { return experiment.Names() }
+
+// LookupExperiment returns the named experiment spec.
+func LookupExperiment(name string) (*ExperimentSpec, error) { return experiment.Lookup(name) }
+
+// RunExperiment plans, executes and aggregates one experiment on a
+// backend (nil = in-process, one worker per CPU), returning the sealed
+// record.
+func RunExperiment(ctx context.Context, name string, p RunParams, b ExperimentBackend) (*RunRecord, error) {
+	return experiment.Regenerate(ctx, name, p, b)
+}
+
+// RegenerateRecord reruns one experiment at the given parameters through
+// the experiment engine's in-process backend.
 func RegenerateRecord(ctx context.Context, experiment string, p RunParams, workers int) (*RunRecord, error) {
-	return results.Regenerate(ctx, experiment, p, workers)
+	return RunExperiment(ctx, experiment, p, InProcessBackend(workers))
 }
 
 // BaselineRunParams returns the committed regression baseline's

@@ -1,6 +1,8 @@
 package specinterference_test
 
 import (
+	"context"
+	"slices"
 	"strings"
 	"testing"
 
@@ -161,6 +163,39 @@ func TestFacadeTimeline(t *testing.T) {
 	out := si.RenderTimeline(rec.Records(), si.TimelineOptions{})
 	if !strings.Contains(out, "sqrt") {
 		t.Errorf("timeline:\n%s", out)
+	}
+}
+
+// TestFacadeExperimentEngine exercises the engine re-exports: the
+// registry lists the four paper experiments, and RunExperiment on an
+// explicit in-process backend matches RegenerateRecord's signature.
+func TestFacadeExperimentEngine(t *testing.T) {
+	names := si.ExperimentNames()
+	for _, exp := range si.ResultExperiments() {
+		if !slices.Contains(names, exp) {
+			t.Errorf("ExperimentNames() = %v, missing %s", names, exp)
+		}
+		if _, err := si.LookupExperiment(exp); err != nil {
+			t.Errorf("LookupExperiment(%s): %v", exp, err)
+		}
+	}
+	p := si.RunParams{Trials: 2, Jitter: 3, Seed: 5}
+	a, err := si.RunExperiment(context.Background(), si.ExpFigure7, p, si.InProcessBackend(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := si.RegenerateRecord(context.Background(), si.ExpFigure7, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != b.Hash {
+		t.Errorf("RunExperiment hash %.12s != RegenerateRecord hash %.12s", a.Hash, b.Hash)
+	}
+	if _, err := si.NewExperimentBackend("subprocess", 2, 0); err != nil {
+		t.Errorf("NewExperimentBackend(subprocess): %v", err)
+	}
+	if _, err := si.NewExperimentBackend("bogus", 0, 0); err == nil {
+		t.Error("NewExperimentBackend accepted a bogus name")
 	}
 }
 
