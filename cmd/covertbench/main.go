@@ -7,7 +7,7 @@
 // (internal/experiment), which also provides the common flags:
 //
 //	covertbench [-poc dcache|icache|both] [-bits 64] [-reps 1,3,5,9,15]
-//	            [-seed 1] [-parallel N] [-backend inprocess|subprocess]
+//	            [-seed 1] [-parallel N] [-backend inprocess|subprocess|remote]
 //	            [-procs N] [-scale N] [-progress] [-json] [-store DIR]
 package main
 
@@ -20,6 +20,7 @@ import (
 
 	"specinterference/internal/channel"
 	"specinterference/internal/experiment"
+	_ "specinterference/internal/experiment/remote" // registers -backend=remote and the -remote-worker mode
 	"specinterference/internal/results"
 )
 

@@ -6,7 +6,7 @@
 // (internal/experiment), which also provides the common flags:
 //
 //	defensebench [-iters 2000] [-schemes fence-spectre,fence-futuristic]
-//	             [-parallel N] [-backend inprocess|subprocess] [-procs N]
+//	             [-parallel N] [-backend inprocess|subprocess|remote] [-procs N]
 //	             [-scale N] [-progress] [-json] [-store DIR]
 package main
 
@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"specinterference/internal/experiment"
+	_ "specinterference/internal/experiment/remote" // registers -backend=remote and the -remote-worker mode
 	"specinterference/internal/results"
 	"specinterference/internal/workload"
 )

@@ -7,7 +7,7 @@
 // (internal/experiment), which also provides the common flags:
 //
 //	interference [-trials 500] [-jitter 30] [-seed 1] [-parallel N]
-//	             [-backend inprocess|subprocess] [-procs N] [-scale N]
+//	             [-backend inprocess|subprocess|remote] [-procs N] [-scale N]
 //	             [-progress] [-json] [-store DIR]
 package main
 
@@ -18,6 +18,7 @@ import (
 
 	"specinterference/internal/core"
 	"specinterference/internal/experiment"
+	_ "specinterference/internal/experiment/remote" // registers -backend=remote and the -remote-worker mode
 	"specinterference/internal/results"
 )
 

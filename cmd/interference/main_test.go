@@ -25,6 +25,17 @@ func TestSmokeSubprocess(t *testing.T) {
 	}
 }
 
+// TestSmokeRemote: the remote backend runs an HTTP coordinator on a
+// loopback ephemeral port with re-exec'd -remote-worker processes and
+// must reproduce the in-process output exactly.
+func TestSmokeRemote(t *testing.T) {
+	want := cmdtest.Run(t, "", "-trials", "2", "-jitter", "5")
+	got := cmdtest.Run(t, "", "-trials", "2", "-jitter", "5", "-backend", "remote", "-procs", "2", "-chunk", "1")
+	if got != want {
+		t.Errorf("remote output diverged from in-process:\n--- inprocess\n%s\n--- remote\n%s", want, got)
+	}
+}
+
 // TestProgressFlag: -progress reports shard completion on stderr and
 // leaves stdout byte-identical.
 func TestProgressFlag(t *testing.T) {

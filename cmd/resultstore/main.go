@@ -10,8 +10,8 @@
 //	resultstore list     -store DIR
 //	resultstore show     [-store DIR] ref
 //	resultstore diff     [-store DIR] [-baseline DIR] refA [refB]
-//	resultstore check    -baseline DIR [-store DIR] [-parallel N] [-backend B] [-procs N]
-//	resultstore baseline -dir DIR [-parallel N] [-backend B] [-procs N]
+//	resultstore check    -baseline DIR [-store DIR] [-parallel N] [-backend B] [-procs N] [-listen ADDR] [-lease TTL] [-chunk N]
+//	resultstore baseline -dir DIR [-parallel N] [-backend B] [-procs N] [-listen ADDR] [-lease TTL] [-chunk N]
 //	resultstore bless    -baseline DIR [-store DIR] -reason STR
 //
 // A ref is "experiment" or "experiment@idx": figure7, table1, figure11 or
@@ -31,8 +31,11 @@
 // regression or incomparable — the CI gate. baseline (re)writes the
 // committed baseline records at the standard small-trial parameters.
 // Both rerun through the experiment engine: -backend selects inprocess
-// (worker goroutines) or subprocess (re-exec'd worker processes, the
-// -procs knob), with bit-identical records either way.
+// (worker goroutines), subprocess (re-exec'd worker processes, the
+// -procs knob) or remote (an HTTP coordinator leasing shard chunks to
+// -procs local workers over loopback, or to external -remote-worker
+// processes when -procs is 0), with bit-identical records on every
+// backend.
 //
 // bless promotes each experiment's newest record in -store to the
 // committed baseline in one command, replacing the baseline record and
@@ -93,8 +96,8 @@ func usage() {
   resultstore list     -store DIR
   resultstore show     [-store DIR] experiment[@idx]
   resultstore diff     [-store DIR] [-baseline DIR] refA [refB]
-  resultstore check    -baseline DIR [-store DIR] [-parallel N] [-backend inprocess|subprocess] [-procs N]
-  resultstore baseline -dir DIR [-parallel N] [-backend inprocess|subprocess] [-procs N]
+  resultstore check    -baseline DIR [-store DIR] [-parallel N] [-backend inprocess|subprocess|remote] [-procs N] [-listen ADDR] [-lease TTL] [-chunk N]
+  resultstore baseline -dir DIR [-parallel N] [-backend inprocess|subprocess|remote] [-procs N] [-listen ADDR] [-lease TTL] [-chunk N]
   resultstore bless    -baseline DIR [-store DIR] -reason STR
 `)
 }
@@ -103,11 +106,17 @@ func usage() {
 // a constructor to call after parsing; workers (-parallel) and procs
 // (-procs) are echoed back for run-metadata stamping.
 func backendFlags(fs *flag.FlagSet) func() (b si.ExperimentBackend, workers, procs int, err error) {
-	parallel := fs.Int("parallel", 0, "worker goroutines for the reruns (0 = one per CPU in-process, serial per subprocess worker)")
-	backend := fs.String("backend", "inprocess", "execution backend: inprocess or subprocess")
-	procsFlag := fs.Int("procs", 0, "worker processes for -backend subprocess (0 = one per CPU)")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the reruns (0 = one per CPU in-process, serial per subprocess/remote worker)")
+	backend := fs.String("backend", "inprocess", "execution backend: inprocess, subprocess or remote")
+	procsFlag := fs.Int("procs", 0, "worker processes: subprocess workers (0 = one per CPU) or local remote workers (0 = wait for external -remote-worker processes)")
+	listen := fs.String("listen", "", "remote backend: coordinator listen address (default 127.0.0.1:0)")
+	lease := fs.Duration("lease", 0, "remote backend: shard-lease TTL before unfinished work is re-issued (0 = 10s)")
+	chunk := fs.Int("chunk", 0, "shards per lease/dispatch chunk for the remote and subprocess schedulers (0 = automatic)")
 	return func() (si.ExperimentBackend, int, int, error) {
-		b, err := si.NewExperimentBackend(*backend, *procsFlag, *parallel)
+		b, err := si.NewExperimentBackendOptions(*backend, si.ExperimentBackendOptions{
+			Procs: *procsFlag, Workers: *parallel,
+			Chunk: *chunk, Listen: *listen, Lease: *lease,
+		})
 		return b, *parallel, *procsFlag, err
 	}
 }
@@ -287,7 +296,7 @@ func runCheck(args []string) error {
 		}
 		fresh.Stamp(workers, time.Since(start))
 		fresh.Meta.Backend = backend.Name()
-		if backend.Name() == "subprocess" {
+		if backend.Name() != "inprocess" {
 			fresh.Meta.Procs = procs
 		}
 		fresh.Meta.Note = "resultstore check"

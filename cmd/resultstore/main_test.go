@@ -100,6 +100,24 @@ func TestCheckSubprocessBackend(t *testing.T) {
 	}
 }
 
+// TestCheckRemoteBackend is the acceptance gate for the distributed
+// backend: check reruns the sweep through an HTTP coordinator with three
+// local leased workers over loopback and the records must still hash
+// identically to the in-process baseline.
+func TestCheckRemoteBackend(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "baseline")
+	writeTestBaseline(t, dir, nil)
+	out := cmdtest.Run(t, "", "check", "-baseline", dir, "-backend", "remote", "-procs", "3")
+	if !strings.Contains(out, "OK: no regression") {
+		t.Errorf("remote check output:\n%s", out)
+	}
+	for _, exp := range si.ResultExperiments() {
+		if !regexp.MustCompile(exp + `\s+IDENTICAL`).MatchString(out) {
+			t.Errorf("remote check did not classify %s as identical:\n%s", exp, out)
+		}
+	}
+}
+
 // TestBlessSubcommand: bless promotes the store's newest records to the
 // committed baseline with a provenance note, so an intentional result
 // shift is one reviewed command.

@@ -7,7 +7,7 @@
 // (internal/experiment), which also provides the common flags:
 //
 //	vulnmatrix [-schemes dom,invisispec-spectre,...] [-verify] [-parallel N]
-//	           [-backend inprocess|subprocess] [-procs N]
+//	           [-backend inprocess|subprocess|remote] [-procs N]
 //	           [-progress] [-json] [-store DIR]
 package main
 
@@ -20,6 +20,7 @@ import (
 
 	"specinterference/internal/core"
 	"specinterference/internal/experiment"
+	_ "specinterference/internal/experiment/remote" // registers -backend=remote and the -remote-worker mode
 	"specinterference/internal/results"
 	"specinterference/internal/schemes"
 )

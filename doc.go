@@ -40,9 +40,23 @@
 //   - the in-process backend shards trials across the bounded worker
 //     pool of internal/runner (-parallel N goroutines, 0 = one per CPU);
 //   - the subprocess backend re-execs the binary in a hidden
-//     -shard-worker mode, distributing contiguous shard ranges across
-//     -procs N worker processes and collecting JSON-streamed results by
-//     shard index.
+//     -shard-worker mode and dispatches small shard chunks (-chunk N,
+//     0 = automatic) to -procs N worker processes dynamically — each
+//     worker pulls the next chunk as it finishes the last, so uneven
+//     shard costs (AD-ordering matrix cells calibrate twice) level out
+//     instead of idling fast workers behind a static equal split —
+//     collecting JSON-streamed results by shard index;
+//   - the remote backend (internal/experiment/remote) runs an HTTP
+//     coordinator (-listen ADDR, default a loopback ephemeral port)
+//     that leases those same chunks to workers over the network: the
+//     binary re-exec'd in a hidden -remote-worker mode against -procs N
+//     local processes, or started by hand on any machine
+//     (vulnmatrix -remote-worker -connect http://host:port). Leases
+//     expire (-lease TTL, default 10s) unless renewed, and expired
+//     leases are re-issued to other workers, so a crashed or stalled
+//     worker costs wall-clock, never correctness; duplicate results are
+//     deduplicated by shard index with a byte-equality assertion that
+//     turns any determinism violation into a hard run failure.
 //
 // The seed-derivation contract makes the backend a pure wall-clock
 // knob: every shard's seed is an arithmetic function of its index alone
@@ -51,20 +65,24 @@
 // the sequences the old serial loops produced), every shard builds its
 // own System and Memory, and collection is ordered by shard index.
 // Aggregation then replays the serial loop's order, so outputs are
-// bit-identical at any worker count, process count, or backend; the
-// determinism tests in internal/core, internal/channel and
-// internal/workload pin the serial reference loops as goldens, and the
-// backend-equivalence tests in internal/experiment pin both backends to
-// the committed baseline signatures.
+// bit-identical at any worker count, process count, machine count, or
+// backend; the determinism tests in internal/core, internal/channel and
+// internal/workload pin the serial reference loops as goldens, the
+// backend-equivalence tests in internal/experiment and
+// internal/experiment/remote pin all three backends to the committed
+// baseline signatures, and the fault-injection suite in
+// internal/experiment/faulttest proves that crashing, stalling and
+// corrupting workers still leave the remote backend's records
+// byte-identical to the committed baselines.
 //
 // The library entry points keep their *Parallel variants (context plus a
 // worker count), now thin wrappers over the same shared per-shard
 // primitives the engine uses. The four experiment CLIs sit on the
 // engine's shared driver and take common flags: -parallel, -backend,
-// -procs, -json, -store, -progress (periodic shard-completion reporting
-// to stderr, off by default) and -scale (multiply trial-style counts —
-// larger Figure 7 arms, more Figure 11 bits — for sweeps that span
-// processes).
+// -procs, -listen, -lease, -chunk, -json, -store, -progress (periodic
+// shard-completion reporting to stderr, off by default) and -scale
+// (multiply trial-style counts — larger Figure 7 arms, more Figure 11
+// bits — for sweeps that span processes and machines).
 //
 // # Results store and regression tracking
 //
@@ -92,9 +110,10 @@
 // The resultstore CLI drives the store: list and show browse history,
 // diff classifies two records (exit non-zero on regression), check
 // reruns every experiment at the committed baseline's parameters —
-// through either backend, via -backend/-procs — and fails on any
-// regression-class change (the CI gate, run both in-process and through
-// the subprocess backend), baseline (re)writes the small-trial baseline
+// through any backend, via -backend/-procs/-listen/-lease/-chunk — and
+// fails on any regression-class change (the CI gate, run in-process,
+// through the subprocess backend, and through the remote backend with
+// leased loopback workers), baseline (re)writes the small-trial baseline
 // records committed under internal/results/testdata/baseline, and bless
 // promotes each experiment's newest store record to the committed
 // baseline in one command, stamping a provenance note (date, reason,

@@ -3,6 +3,8 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"sort"
+	"time"
 
 	"specinterference/internal/results"
 	"specinterference/internal/runner"
@@ -45,16 +47,79 @@ func (b InProcess) Run(ctx context.Context, spec *Spec, p results.Params, n int,
 	})
 }
 
-// NewBackend constructs a backend from its CLI name: "inprocess" (worker
-// goroutines, the workers knob) or "subprocess" (worker processes, the
-// procs knob, workers goroutines inside each).
-func NewBackend(name string, procs, workers int) (Backend, error) {
-	switch name {
-	case "", "inprocess":
-		return InProcess{Workers: workers}, nil
-	case "subprocess":
-		return Subprocess{Procs: procs, Workers: workers}, nil
-	default:
-		return nil, fmt.Errorf("experiment: unknown backend %q (want inprocess or subprocess)", name)
+// BackendOptions carries every backend-construction knob the CLIs expose;
+// each backend reads the fields it understands and ignores the rest.
+type BackendOptions struct {
+	// Procs is the worker-process count: subprocess workers, or local
+	// remote workers spawned next to the coordinator (remote: 0 = none,
+	// wait for external workers; subprocess: 0 = one per CPU).
+	Procs int
+	// Workers bounds shard-goroutine concurrency inside each worker.
+	Workers int
+	// Chunk is the scheduler granularity: shards per lease (remote) or
+	// per dispatched range (subprocess). 0 picks an automatic size.
+	Chunk int
+	// Listen is the remote coordinator's listen address
+	// ("" = 127.0.0.1:0, a loopback ephemeral port).
+	Listen string
+	// Lease is the remote backend's lease time-to-live (0 = default).
+	Lease time.Duration
+}
+
+// BackendFactory constructs a backend from CLI options.
+type BackendFactory func(o BackendOptions) (Backend, error)
+
+var backendFactories = map[string]BackendFactory{
+	"inprocess": func(o BackendOptions) (Backend, error) {
+		return InProcess{Workers: o.Workers}, nil
+	},
+	"subprocess": func(o BackendOptions) (Backend, error) {
+		return Subprocess{Procs: o.Procs, Workers: o.Workers, Chunk: o.Chunk}, nil
+	},
+}
+
+// RegisterBackendFactory adds a named backend constructor; packages that
+// cannot be imported from here (internal/experiment/remote imports this
+// package) register themselves from init, and linking them in makes the
+// name resolvable. Duplicate names panic, like Register.
+func RegisterBackendFactory(name string, f BackendFactory) {
+	if name == "" || f == nil {
+		panic("experiment: backend factory with empty name or nil constructor")
 	}
+	if _, dup := backendFactories[name]; dup {
+		panic("experiment: duplicate backend factory " + name)
+	}
+	backendFactories[name] = f
+}
+
+// BackendNames lists the resolvable backend names in sorted order.
+func BackendNames() []string {
+	names := make([]string, 0, len(backendFactories))
+	for n := range backendFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewBackendOptions constructs a backend from its CLI name and the full
+// option set: "inprocess" (worker goroutines), "subprocess" (worker
+// processes) or — when internal/experiment/remote is linked in — "remote"
+// (an HTTP coordinator leasing shard chunks to network workers).
+func NewBackendOptions(name string, o BackendOptions) (Backend, error) {
+	if name == "" {
+		name = "inprocess"
+	}
+	f, ok := backendFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown backend %q (want one of %v)", name, BackendNames())
+	}
+	return f(o)
+}
+
+// NewBackend constructs a backend from its CLI name with only the procs
+// and workers knobs — the pre-remote signature, kept for callers that
+// don't care about scheduler or network options.
+func NewBackend(name string, procs, workers int) (Backend, error) {
+	return NewBackendOptions(name, BackendOptions{Procs: procs, Workers: workers})
 }

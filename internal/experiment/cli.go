@@ -54,9 +54,12 @@ func Main(cfg CLIConfig) {
 
 	fs := flag.NewFlagSet(cfg.Name, flag.ExitOnError)
 	build := cfg.Flags(fs)
-	parallel := fs.Int("parallel", 0, "worker goroutines (0 = one per CPU in-process, serial inside each subprocess worker); results identical at any value")
-	backendName := fs.String("backend", "inprocess", "execution backend: inprocess (worker goroutines) or subprocess (re-exec'd worker processes)")
-	procs := fs.Int("procs", 0, "worker processes for -backend subprocess (0 = one per CPU)")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = one per CPU in-process, serial inside each subprocess/remote worker); results identical at any value")
+	backendName := fs.String("backend", "inprocess", "execution backend: inprocess (worker goroutines), subprocess (re-exec'd worker processes) or remote (HTTP coordinator leasing shard chunks to workers)")
+	procs := fs.Int("procs", 0, "worker processes: subprocess workers (0 = one per CPU) or local remote workers spawned next to the coordinator (0 = none, wait for external -remote-worker processes)")
+	listen := fs.String("listen", "", "remote backend: coordinator listen address (default 127.0.0.1:0, a loopback ephemeral port)")
+	lease := fs.Duration("lease", 0, "remote backend: shard-lease time-to-live before unfinished work is re-issued (0 = 10s)")
+	chunk := fs.Int("chunk", 0, "shards per lease/dispatch chunk for the remote and subprocess schedulers (0 = automatic)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the text rendering")
 	storeDir := fs.String("store", "", "append a run record to this results-store directory")
 	progress := fs.Bool("progress", false, "report shard completion to stderr (for long sweeps; off by default)")
@@ -83,7 +86,10 @@ func Main(cfg CLIConfig) {
 		}
 		p = spec.Scale(p, *scale)
 	}
-	backend, err := NewBackend(*backendName, *procs, *parallel)
+	backend, err := NewBackendOptions(*backendName, BackendOptions{
+		Procs: *procs, Workers: *parallel,
+		Chunk: *chunk, Listen: *listen, Lease: *lease,
+	})
 	if err != nil {
 		die(err)
 	}
@@ -109,7 +115,7 @@ func Main(cfg CLIConfig) {
 
 	if *storeDir != "" {
 		rec.Meta.Backend = backend.Name()
-		if backend.Name() == "subprocess" {
+		if backend.Name() != "inprocess" {
 			rec.Meta.Procs = *procs
 		}
 		if err := results.RecordRun(*storeDir, rec, *parallel, time.Since(start)); err != nil {

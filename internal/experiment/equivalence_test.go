@@ -1,23 +1,35 @@
-package experiment
+// The equivalence sweep lives in the external test package so it can
+// exercise the remote backend too: internal/experiment/remote imports
+// internal/experiment, so an in-package test file could not import it
+// back without a cycle.
+package experiment_test
 
 import (
 	"context"
 	"path/filepath"
 	"testing"
+	"time"
 
+	"specinterference/internal/experiment"
+	"specinterference/internal/experiment/remote"
 	"specinterference/internal/results"
 )
 
-// backendsUnderTest is the worker/process-count matrix the equivalence
-// sweep runs: the determinism contract says every entry produces the
-// same canonical signature.
-func backendsUnderTest() []Backend {
-	return []Backend{
-		InProcess{Workers: 1},
-		InProcess{Workers: 3},
-		Subprocess{Procs: 1},
-		Subprocess{Procs: 2},
-		Subprocess{Procs: 3, Workers: 2},
+// backendsUnderTest is the backend-configuration matrix the equivalence
+// sweep runs: goroutine workers, re-exec'd subprocess workers at several
+// process counts and chunk sizes, and the remote HTTP backend at 1/2/3
+// workers × varying lease chunk sizes. The determinism contract says
+// every entry produces the same canonical signature.
+func backendsUnderTest() []experiment.Backend {
+	return []experiment.Backend{
+		experiment.InProcess{Workers: 1},
+		experiment.InProcess{Workers: 3},
+		experiment.Subprocess{Procs: 1},
+		experiment.Subprocess{Procs: 2, Chunk: 1},
+		experiment.Subprocess{Procs: 3, Workers: 2, Chunk: 3},
+		remote.Remote{Procs: 1, Chunk: 2},
+		remote.Remote{Procs: 2, Chunk: 1},
+		remote.Remote{Procs: 3, Workers: 2, Chunk: 4, Lease: 5 * time.Second},
 	}
 }
 
@@ -26,7 +38,8 @@ func backendsUnderTest() []Backend {
 // canonical signatures to be byte-identical — to each other, to the
 // legacy direct path (results.Regenerate), and to the committed PR 2
 // baseline records. This is the engine's core guarantee: the backend is
-// purely a wall-clock knob.
+// purely a wall-clock knob, whether the shards ran on goroutines, local
+// worker processes, or leased chunks over HTTP.
 func TestBackendEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns worker processes and full small-trial sweeps")
@@ -48,12 +61,12 @@ func TestBackendEquivalence(t *testing.T) {
 				t.Fatalf("legacy path hash %.12s != committed baseline %.12s", legacy.Hash, committed)
 			}
 
-			spec, err := Lookup(exp)
+			spec, err := experiment.Lookup(exp)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, b := range backendsUnderTest() {
-				rec, err := Run(context.Background(), spec, params, b, nil)
+				rec, err := experiment.Run(context.Background(), spec, params, quiet(t, b), nil)
 				if err != nil {
 					t.Fatalf("%s %+v: %v", b.Name(), b, err)
 				}
@@ -67,6 +80,27 @@ func TestBackendEquivalence(t *testing.T) {
 			}
 		})
 	}
+}
+
+// quiet routes a backend's stderr chatter (coordinator notices, worker
+// banners) into the test log instead of the test runner's stderr.
+func quiet(t *testing.T, b experiment.Backend) experiment.Backend {
+	switch b := b.(type) {
+	case remote.Remote:
+		b.Stderr = testWriter{t}
+		return b
+	case experiment.Subprocess:
+		b.Stderr = testWriter{t}
+		return b
+	}
+	return b
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
 }
 
 // committedBaselineHash loads the PR 2 baseline record's signature.
@@ -84,22 +118,18 @@ func committedBaselineHash(t *testing.T, exp string) string {
 }
 
 // TestSubprocessPayloadEquality goes beyond hashes for one experiment:
-// the full canonical JSON must match across backends, catching any
-// hash-collision paranoia and making diffs readable on failure.
+// the full canonical JSON must match across all three backends, catching
+// any hash-collision paranoia and making diffs readable on failure.
 func TestSubprocessPayloadEquality(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns worker processes")
 	}
-	spec, err := Lookup("figure11")
+	spec, err := experiment.Lookup("figure11")
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := results.Params{PoCs: []string{"dcache", "icache"}, Bits: 3, Reps: []int{1, 3}, Seed: 9}
-	in, err := Run(context.Background(), spec, p, InProcess{Workers: 2}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sub, err := Run(context.Background(), spec, p, Subprocess{Procs: 3}, nil)
+	in, err := experiment.Run(context.Background(), spec, p, experiment.InProcess{Workers: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,11 +137,20 @@ func TestSubprocessPayloadEquality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	subJSON, err := sub.CanonicalJSON()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(inJSON) != string(subJSON) {
-		t.Errorf("canonical JSON diverged across backends:\n  inprocess:  %s\n  subprocess: %s", inJSON, subJSON)
+	for _, b := range []experiment.Backend{
+		experiment.Subprocess{Procs: 3},
+		remote.Remote{Procs: 2, Chunk: 3},
+	} {
+		rec, err := experiment.Run(context.Background(), spec, p, quiet(t, b), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		recJSON, err := rec.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(inJSON) != string(recJSON) {
+			t.Errorf("canonical JSON diverged across backends:\n  inprocess: %s\n  %s: %s", inJSON, b.Name(), recJSON)
+		}
 	}
 }

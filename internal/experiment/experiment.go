@@ -130,10 +130,15 @@ func Regenerate(ctx context.Context, name string, p results.Params, b Backend) (
 	return Run(ctx, spec, p, b, nil)
 }
 
-// prepare runs the spec's Prepare hook, tolerating its absence.
-func (s *Spec) prepare(p results.Params) (any, error) {
+// PrepareState runs the spec's Prepare hook, tolerating its absence —
+// the worker-side entry every backend transport uses before serving
+// shard ranges.
+func (s *Spec) PrepareState(p results.Params) (any, error) {
 	if s.Prepare == nil {
 		return nil, nil
 	}
 	return s.Prepare(p)
 }
+
+// prepare is the internal alias for PrepareState.
+func (s *Spec) prepare(p results.Params) (any, error) { return s.PrepareState(p) }

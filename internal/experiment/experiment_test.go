@@ -42,7 +42,7 @@ func init() {
 }
 
 func TestRegistryNames(t *testing.T) {
-	want := []string{"figure11", "figure12", "figure7", "table1", "test-fail"}
+	want := []string{"figure11", "figure12", "figure7", "table1", "test-fail", "test-stderr"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("Names() = %v, want %v", got, want)
 	}
@@ -205,7 +205,7 @@ func TestShardJSONRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: marshal: %v", exp, err)
 		}
-		back, err := decodeShard(spec, raw)
+		back, err := DecodeShard(spec, raw)
 		if err != nil {
 			t.Fatalf("%s: decode: %v", exp, err)
 		}

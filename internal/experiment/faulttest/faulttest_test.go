@@ -1,0 +1,293 @@
+package faulttest
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"specinterference/internal/experiment"
+	"specinterference/internal/experiment/remote"
+	"specinterference/internal/results"
+)
+
+// harness is one fault scenario's world: a figure7 coordinator at the
+// committed baseline parameters with a deliberately short lease TTL, an
+// httptest server in front of it, and a shim pointed at the server.
+type harness struct {
+	spec      *experiment.Spec
+	state     any
+	params    results.Params
+	n         int
+	coord     *remote.Coordinator
+	shim      *Shim
+	url       string
+	committed string
+}
+
+// faultLease is the TTL under test: short enough that expiry-driven
+// re-leasing happens within test budget, long enough that the healthy
+// worker (renewing at TTL/3) never loses a lease it is serving.
+const faultLease = 400 * time.Millisecond
+
+func newHarness(t *testing.T, chunk int) *harness {
+	t.Helper()
+	spec, err := experiment.Lookup(results.ExpFigure7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := results.BaselineParams(results.ExpFigure7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := spec.Plan(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := spec.PrepareState(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := remote.NewCoordinator(spec, params, n, remote.Config{Chunk: chunk, Lease: faultLease})
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	return &harness{
+		spec: spec, state: state, params: params, n: n,
+		coord: coord, url: srv.URL,
+		shim:      &Shim{Base: srv.URL},
+		committed: committedBaselineHash(t, results.ExpFigure7),
+	}
+}
+
+// drainAndVerify runs one healthy worker until the coordinator reports
+// done, then asserts the aggregated record's canonical signature equals
+// the committed baseline — the "crash tolerance never changes the
+// answer" acceptance check.
+func (h *harness) drainAndVerify(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := remote.RunWorker(ctx, h.url, 0, io.Discard); err != nil {
+		t.Fatalf("healthy worker: %v", err)
+	}
+	select {
+	case <-h.coord.Finished():
+	default:
+		t.Fatal("healthy worker returned but the run is not finished")
+	}
+	shards, err := h.coord.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := h.spec.Aggregate(h.params, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Hash != h.committed {
+		t.Errorf("record signature %.12s != committed baseline %.12s — the fault leaked into the results", rec.Hash, h.committed)
+	}
+}
+
+// TestFaultInjection is the table of misbehaving-worker scenarios: each
+// fault fires first, then a healthy worker drains the run, and the final
+// record must be byte-identical to the committed baseline.
+func TestFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full figure7 baseline sweeps with deliberate lease expiries")
+	}
+	cases := []struct {
+		name  string
+		chunk int
+		fault func(t *testing.T, h *harness)
+	}{
+		{
+			// A worker that dies halfway through its chunk: the two shards
+			// it finished stay finished, the rest re-lease after the TTL.
+			name: "crash-mid-chunk", chunk: 4,
+			fault: func(t *testing.T, h *harness) {
+				l, err := h.shim.CrashMidChunk(h.spec, h.state, h.params, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if l.End-l.Start != 4 {
+					t.Fatalf("shim lease [%d,%d), want a 4-shard chunk", l.Start, l.End)
+				}
+			},
+		},
+		{
+			// A worker that leases and then hangs: its whole chunk
+			// re-leases; the stalled lease can never renew again.
+			name: "stall-past-lease", chunk: 5,
+			fault: func(t *testing.T, h *harness) {
+				l, err := h.shim.StallPastLease()
+				if err != nil {
+					t.Fatal(err)
+				}
+				time.Sleep(faultLease + 50*time.Millisecond)
+				status, err := h.shim.Renew(l.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if status != http.StatusGone {
+					t.Errorf("renew after stall: status %d, want %d (lease must be reclaimed)", status, http.StatusGone)
+				}
+			},
+		},
+		{
+			// Garbage on the wire is rejected per line and never touches
+			// shard state.
+			name: "malformed-lines", chunk: 0,
+			fault: func(t *testing.T, h *harness) {
+				for _, body := range []string{
+					"{definitely not json\n",
+					"\x00\xff\xfe\n",
+					`{"lease":`,
+				} {
+					status, _, err := h.shim.PostRaw([]byte(body))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if status != http.StatusBadRequest {
+						t.Errorf("malformed body %q: status %d, want 400", body, status)
+					}
+				}
+			},
+		},
+		{
+			// Duplicate correct results are acknowledged idempotently —
+			// exactly what a re-issued lease's straggler produces.
+			name: "duplicate-results", chunk: 4,
+			fault: func(t *testing.T, h *harness) {
+				l, err := h.shim.Lease("dup-shim")
+				if err != nil {
+					t.Fatal(err)
+				}
+				sl, err := h.shim.CorrectLine(h.spec, h.state, h.params, l.Start)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 3; i++ {
+					status, ack, err := h.shim.PostLine(l.ID, sl)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if status != http.StatusOK || ack.Accepted != 1 {
+						t.Errorf("duplicate post %d: status %d ack %+v, want idempotent accept", i, status, ack)
+					}
+				}
+				// ...then the shim crashes; the rest of its chunk re-leases.
+			},
+		},
+		{
+			// Shard indexes outside [0, n) are rejected outright.
+			name: "out-of-range-results", chunk: 0,
+			fault: func(t *testing.T, h *harness) {
+				l, err := h.shim.Lease("oob-shim")
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, shard := range []int{-1, h.n, 1 << 20} {
+					line, _ := json.Marshal(remote.ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: shard, Value: json.RawMessage("1.5")}})
+					status, _, err := h.shim.PostRaw(append(line, '\n'))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if status != http.StatusBadRequest {
+						t.Errorf("out-of-range shard %d: status %d, want 400", shard, status)
+					}
+				}
+			},
+		},
+		{
+			// Payloads that don't decode as the spec's shard type are
+			// corrupt: rejected, and the shard is served again later.
+			name: "corrupted-payloads", chunk: 4,
+			fault: func(t *testing.T, h *harness) {
+				l, err := h.shim.Lease("corrupt-shim")
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, payload := range []string{`"banana"`, `{"not":"a float"}`, `[1,2,3]`} {
+					status, _, err := h.shim.PostLine(l.ID, experiment.ShardLine{Shard: l.Start, Value: json.RawMessage(payload)})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if status != http.StatusBadRequest {
+						t.Errorf("corrupt payload %s: status %d, want 400", payload, status)
+					}
+				}
+				// The shim gives up; its chunk must re-lease intact.
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHarness(t, tc.chunk)
+			tc.fault(t, h)
+			h.drainAndVerify(t)
+		})
+	}
+}
+
+// TestDeterminismViolationFailsRun is the one fault that must NOT heal:
+// two different byte payloads for the same shard mean the purity
+// contract broke somewhere, and silently picking one would publish wrong
+// results. The run fails and every worker is sent home.
+func TestDeterminismViolationFailsRun(t *testing.T) {
+	h := newHarness(t, 4)
+	l, err := h.shim.Lease("evil-shim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := h.shim.CorrectLine(h.spec, h.state, h.params, l.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, _, err := h.shim.PostLine(l.ID, sl); err != nil || status != http.StatusOK {
+		t.Fatalf("honest post: status %d err %v", status, err)
+	}
+	forged := experiment.ShardLine{Shard: l.Start, Value: json.RawMessage("123456789")}
+	status, _, err := h.shim.PostLine(l.ID, forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusConflict {
+		t.Errorf("forged duplicate: status %d, want %d", status, http.StatusConflict)
+	}
+	select {
+	case <-h.coord.Finished():
+	case <-time.After(5 * time.Second):
+		t.Fatal("determinism violation did not stop the run")
+	}
+	if _, err := h.coord.Values(); err == nil || !strings.Contains(err.Error(), "determinism") {
+		t.Errorf("Values() = %v, want determinism-contract failure", err)
+	}
+	// Workers polling for work are told the run is over.
+	next, err := h.shim.Lease("bystander")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.Done {
+		t.Errorf("post-violation lease = %+v, want done", next)
+	}
+}
+
+// committedBaselineHash loads the committed PR 2 baseline signature.
+func committedBaselineHash(t *testing.T, exp string) string {
+	t.Helper()
+	path := filepath.Join("..", "..", "results", "testdata", "baseline", exp+".jsonl")
+	recs, err := results.ReadFile(path)
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatalf("committed baseline %s is empty", path)
+	}
+	return recs[len(recs)-1].Hash
+}

@@ -1,0 +1,356 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"specinterference/internal/experiment"
+	"specinterference/internal/results"
+)
+
+// DefaultLease is the lease TTL when none is configured: long enough
+// that a healthy worker renewing at TTL/3 never loses a lease to
+// scheduling noise, short enough that a crashed worker's chunk is back
+// in the queue quickly.
+const DefaultLease = 10 * time.Second
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Chunk is the shards-per-lease granularity (0 = automatic:
+	// n/32 clamped to at least 1 — small enough that uneven shard costs
+	// level out, large enough that HTTP round-trips stay negligible).
+	Chunk int
+	// Lease is the lease TTL (0 = DefaultLease).
+	Lease time.Duration
+	// OnShardDone, when non-nil, fires once per newly completed shard
+	// (the engine's progress hook). Duplicate results never re-fire it.
+	OnShardDone func()
+	// Now overrides the clock, for tests (nil = time.Now).
+	Now func() time.Time
+}
+
+// leaseState is one outstanding grant.
+type leaseState struct {
+	id      string
+	worker  string
+	span    experiment.Span
+	expires time.Time
+}
+
+// Coordinator owns one experiment run's shard state machine: a queue of
+// unleased chunks, the outstanding leases, and the accepted results. It
+// is an http.Handler serving the wire protocol; every mutation happens
+// under one mutex, so concurrent workers see a consistent queue.
+type Coordinator struct {
+	spec   *experiment.Spec
+	params results.Params
+	n      int
+	chunk  int
+	lease  time.Duration
+	onDone func()
+	now    func() time.Time
+
+	mu        sync.Mutex
+	pending   []experiment.Span      // unleased chunks, FIFO
+	leases    map[string]*leaseState // outstanding grants
+	issued    map[string]bool        // every grant ever made (expired included)
+	nextID    int
+	done      []bool   // per-shard completion
+	values    []any    // decoded shard values, by index
+	raw       [][]byte // accepted result bytes, for the byte-equality assertion
+	remaining int
+	fatal     error
+	finished  chan struct{}
+}
+
+// NewCoordinator builds the coordinator for shards [0, n) of spec at
+// params. The caller serves Handler() somewhere workers can reach and
+// waits on Finished.
+func NewCoordinator(spec *experiment.Spec, p results.Params, n int, cfg Config) *Coordinator {
+	chunk := cfg.Chunk
+	if chunk <= 0 {
+		chunk = n / 32
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	lease := cfg.Lease
+	if lease <= 0 {
+		lease = DefaultLease
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	c := &Coordinator{
+		spec: spec, params: p, n: n,
+		chunk: chunk, lease: lease,
+		onDone: cfg.OnShardDone, now: now,
+		leases:    map[string]*leaseState{},
+		issued:    map[string]bool{},
+		done:      make([]bool, n),
+		values:    make([]any, n),
+		raw:       make([][]byte, n),
+		remaining: n,
+		finished:  make(chan struct{}),
+	}
+	c.pending = experiment.Spans(n, chunk)
+	if n == 0 {
+		close(c.finished)
+	}
+	return c
+}
+
+// Finished is closed when every shard has a result or the run failed.
+func (c *Coordinator) Finished() <-chan struct{} { return c.finished }
+
+// Values returns the decoded shard values in index order once the run
+// finished, or the fatal error that stopped it.
+func (c *Coordinator) Values() ([]any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fatal != nil {
+		return nil, c.fatal
+	}
+	if c.remaining != 0 {
+		return nil, fmt.Errorf("remote: run incomplete: %d of %d shards outstanding", c.remaining, c.n)
+	}
+	return c.values, nil
+}
+
+// fail records the first fatal error and releases waiters. Once the run
+// is over — failed or already complete — further faults are no-ops: a
+// straggler posting garbage after the last shard landed must not close
+// finished twice or retroactively taint a completed run (its line is
+// still rejected by the caller). Callers hold mu.
+func (c *Coordinator) fail(err error) {
+	if c.fatal != nil || c.remaining == 0 {
+		return
+	}
+	c.fatal = err
+	close(c.finished)
+}
+
+// sweepExpired reclaims every lease past its TTL: the contiguous runs of
+// not-yet-done shards inside its chunk go back in the queue for other
+// workers — this is the crash tolerance and the work stealing in one
+// move. Callers hold mu.
+func (c *Coordinator) sweepExpired() {
+	now := c.now()
+	for id, l := range c.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		c.requeueUndone(l.span)
+		delete(c.leases, id)
+	}
+}
+
+// requeueUndone pushes the contiguous not-done sub-spans of sp back onto
+// the pending queue. Callers hold mu.
+func (c *Coordinator) requeueUndone(sp experiment.Span) {
+	start := -1
+	for i := sp.Start; i <= sp.End; i++ {
+		if i < sp.End && !c.done[i] {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			c.pending = append(c.pending, experiment.Span{Start: start, End: i})
+			start = -1
+		}
+	}
+}
+
+// Handler returns the coordinator's HTTP interface.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/job", c.handleJob)
+	mux.HandleFunc("/lease", c.handleLease)
+	mux.HandleFunc("/renew", c.handleRenew)
+	mux.HandleFunc("/results", c.handleResults)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(mustJSON(v))
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Job{
+		Experiment: c.spec.Name, Params: c.params,
+		Shards: c.n, LeaseMillis: c.lease.Milliseconds(),
+	})
+}
+
+// pollInterval suggests how often a waiting worker should re-poll:
+// fast enough to pick up an expired lease promptly, slow enough not to
+// hammer the coordinator.
+func (c *Coordinator) pollInterval() time.Duration {
+	p := c.lease / 10
+	if p < 25*time.Millisecond {
+		p = 25 * time.Millisecond
+	}
+	if p > time.Second {
+		p = time.Second
+	}
+	return p
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad lease request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepExpired()
+	if c.fatal != nil || c.remaining == 0 {
+		writeJSON(w, http.StatusOK, Lease{Done: true})
+		return
+	}
+	if len(c.pending) == 0 {
+		writeJSON(w, http.StatusOK, Lease{Wait: true, PollMillis: c.pollInterval().Milliseconds()})
+		return
+	}
+	sp := c.pending[0]
+	c.pending = c.pending[1:]
+	c.nextID++
+	l := &leaseState{
+		id:      fmt.Sprintf("L%d", c.nextID),
+		worker:  req.Worker,
+		span:    sp,
+		expires: c.now().Add(c.lease),
+	}
+	c.leases[l.id] = l
+	c.issued[l.id] = true
+	writeJSON(w, http.StatusOK, Lease{
+		ID: l.id, Start: sp.Start, End: sp.End,
+		ExpiresMillis: c.lease.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req RenewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad renew request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[req.ID]
+	if !ok || !c.now().Before(l.expires) {
+		// Expired (possibly re-issued already): the worker must abandon
+		// the chunk. Results it already streamed remain accepted.
+		if ok {
+			c.requeueUndone(l.span)
+			delete(c.leases, req.ID)
+		}
+		http.Error(w, "lease expired or unknown", http.StatusGone)
+		return
+	}
+	l.expires = c.now().Add(c.lease)
+	writeJSON(w, http.StatusOK, Renewal{ExpiresMillis: c.lease.Milliseconds()})
+}
+
+// handleResults ingests a stream of ResultLine documents, one per line.
+// Lines are validated hard — the coordinator trusts no worker: malformed
+// JSON, never-issued lease ids, out-of-range shard indexes and payloads
+// that don't decode as the spec's shard type are rejected with a 4xx
+// without corrupting shard state (the shard stays pending or leased and
+// will be served again). A duplicate of an already-done shard must be
+// byte-identical to the accepted result: equal bytes are acknowledged
+// idempotently, unequal bytes are a determinism-contract violation that
+// fails the whole run (409).
+func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	accepted := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if status, err := c.acceptResult(line); err != nil {
+			writeJSON(w, status, ResultAck{Accepted: accepted, Error: err.Error()})
+			return
+		}
+		accepted++
+	}
+	if err := sc.Err(); err != nil {
+		writeJSON(w, http.StatusBadRequest, ResultAck{Accepted: accepted, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ResultAck{Accepted: accepted})
+}
+
+// acceptResult validates and applies one result line, returning the HTTP
+// status to reject it with when invalid.
+func (c *Coordinator) acceptResult(line []byte) (int, error) {
+	var rl ResultLine
+	if err := json.Unmarshal(line, &rl); err != nil {
+		return http.StatusBadRequest, fmt.Errorf("malformed result line: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.issued[rl.Lease] {
+		return http.StatusGone, fmt.Errorf("result names lease %q this coordinator never issued", rl.Lease)
+	}
+	if rl.Shard < 0 || rl.Shard >= c.n {
+		return http.StatusBadRequest, fmt.Errorf("shard %d out of range [0,%d)", rl.Shard, c.n)
+	}
+	if rl.Err != "" {
+		// A shard that genuinely fails would fail identically anywhere —
+		// re-running it elsewhere cannot help, so the run fails.
+		c.fail(fmt.Errorf("remote: shard %d: %s", rl.Shard, rl.Err))
+		return http.StatusOK, nil
+	}
+	if len(rl.Value) == 0 {
+		return http.StatusBadRequest, fmt.Errorf("shard %d: empty result value", rl.Shard)
+	}
+	if c.done[rl.Shard] {
+		if bytes.Equal(c.raw[rl.Shard], rl.Value) {
+			return http.StatusOK, nil // idempotent duplicate from a re-issued lease
+		}
+		err := fmt.Errorf("remote: shard %d: duplicate result differs from accepted bytes — determinism contract violated", rl.Shard)
+		c.fail(err)
+		return http.StatusConflict, err
+	}
+	v, err := experiment.DecodeShard(c.spec, rl.Value)
+	if err != nil {
+		return http.StatusBadRequest, fmt.Errorf("shard %d: corrupt payload: %w", rl.Shard, err)
+	}
+	c.values[rl.Shard] = v
+	c.raw[rl.Shard] = append([]byte(nil), rl.Value...)
+	c.done[rl.Shard] = true
+	c.remaining--
+	if c.onDone != nil {
+		c.onDone()
+	}
+	if c.remaining == 0 && c.fatal == nil {
+		close(c.finished)
+	}
+	return http.StatusOK, nil
+}

@@ -1,0 +1,115 @@
+// Package remote is the distributed execution backend: an HTTP
+// coordinator that leases small shard chunks to worker processes on any
+// machine that can reach it, re-issuing expired leases so crashed or
+// stalled workers cost wall-clock, never correctness.
+//
+// The wire protocol is four JSON endpoints on the coordinator:
+//
+//	GET  /job      -> Job          the experiment, params and shard count
+//	POST /lease    LeaseRequest -> Lease   claim the next chunk (or wait/done)
+//	POST /renew    RenewRequest -> Renewal  extend a held lease's TTL
+//	POST /results  ResultLine JSON lines -> ResultAck   stream shard results
+//
+// Workers are the same binary in a hidden -remote-worker mode; they fetch
+// the job once, then loop lease → run shards (the shared
+// experiment.RunShardLines path) → stream each result as it completes.
+// A worker that dies mid-chunk simply stops renewing: the lease expires
+// and the chunk's unfinished shards go back in the queue for someone
+// else. Results are deduplicated by shard index with a byte-equality
+// assertion — under the repo's determinism contract two workers that run
+// the same shard must produce identical bytes, so a mismatch is a fatal
+// contract violation, not something to paper over.
+package remote
+
+import (
+	"encoding/json"
+
+	"specinterference/internal/experiment"
+	"specinterference/internal/results"
+)
+
+// WorkerArg is the hidden CLI argument naming remote-worker mode:
+//
+//	<binary> -remote-worker -connect http://host:port [-parallel N]
+const WorkerArg = "-remote-worker"
+
+// workerEnvVar mirrors WorkerArg for locally spawned workers.
+const workerEnvVar = "SPECINTERFERENCE_REMOTE_WORKER"
+
+// Job describes the one experiment a coordinator is serving; workers
+// fetch it once, prepare per-process state, then start leasing.
+type Job struct {
+	Experiment string         `json:"experiment"`
+	Params     results.Params `json:"params"`
+	// Shards is the total shard count ([0, Shards) across all leases).
+	Shards int `json:"shards"`
+	// LeaseMillis is the lease TTL workers must renew within.
+	LeaseMillis int64 `json:"lease_ms"`
+}
+
+// LeaseRequest asks for the next chunk; Worker is a diagnostic identity
+// (host-pid), never a correctness input.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Lease is the coordinator's answer to a lease request: a chunk grant,
+// "nothing right now, poll again", or "the run is over, go home".
+type Lease struct {
+	// ID names the grant; result lines and renewals must echo it.
+	ID string `json:"id,omitempty"`
+	// Start and End bound the leased chunk: shards [Start, End).
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// ExpiresMillis is the TTL: unfinished shards return to the queue
+	// this many milliseconds from the grant unless renewed.
+	ExpiresMillis int64 `json:"expires_ms,omitempty"`
+	// Wait means every shard is leased or done but the run isn't over:
+	// poll again in PollMillis (a crashed peer's lease may expire).
+	Wait bool `json:"wait,omitempty"`
+	// PollMillis is the suggested retry interval when Wait is set.
+	PollMillis int64 `json:"poll_ms,omitempty"`
+	// Done means all shards are complete (or the run failed): no more
+	// work will ever be granted and the worker should exit.
+	Done bool `json:"done,omitempty"`
+}
+
+// RenewRequest extends a held lease's TTL.
+type RenewRequest struct {
+	ID string `json:"id"`
+}
+
+// Renewal acknowledges a renew with the fresh TTL.
+type Renewal struct {
+	ExpiresMillis int64 `json:"expires_ms"`
+}
+
+// ResultLine is one streamed shard result: the shared ShardLine wire
+// shape (shard index + JSON value, or a shard failure) tagged with the
+// lease it was produced under. The /results body is a stream of these,
+// one JSON document per line.
+type ResultLine struct {
+	// Lease echoes the grant the shard ran under. Results from expired
+	// leases are still accepted when valid — re-issuing a lease makes the
+	// work redundant, never wrong — but a line must name a lease this
+	// coordinator actually issued.
+	Lease string `json:"lease"`
+	experiment.ShardLine
+}
+
+// ResultAck reports how many lines of a /results body were accepted;
+// Error carries the rejection reason when the status is non-2xx.
+type ResultAck struct {
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+// mustJSON encodes a response document; protocol types marshal without
+// error by construction.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

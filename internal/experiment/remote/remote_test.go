@@ -1,0 +1,452 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"specinterference/internal/experiment"
+	"specinterference/internal/results"
+)
+
+// The unit tests run against a tiny registered spec: shard i's value is
+// a pure function of i, like every real spec.
+func init() {
+	experiment.Register(&experiment.Spec{
+		Name: "remote-test",
+		Plan: func(p results.Params) (int, error) { return p.Trials, nil },
+		Run: func(_ context.Context, _ any, p results.Params, i int) (any, error) {
+			return float64(i*i) + float64(p.Seed), nil
+		},
+		NewShard: func() any { return new(float64) },
+		Aggregate: func(p results.Params, shards []any) (*results.Record, error) {
+			return nil, fmt.Errorf("unit tests aggregate by hand")
+		},
+	})
+}
+
+func testSpec(t *testing.T) *experiment.Spec {
+	t.Helper()
+	spec, err := experiment.Lookup("remote-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// startCoordinator serves a coordinator over httptest and returns it
+// with its base URL.
+func startCoordinator(t *testing.T, spec *experiment.Spec, p results.Params, n int, cfg Config) (*Coordinator, string) {
+	t.Helper()
+	coord := NewCoordinator(spec, p, n, cfg)
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	return coord, srv.URL
+}
+
+// runGoroutineWorkers drains a coordinator with n in-process RunWorker
+// goroutines — the httptest configuration: real HTTP over loopback, no
+// process spawning.
+func runGoroutineWorkers(t *testing.T, url string, n, shardWorkers int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = RunWorker(context.Background(), url, shardWorkers, io.Discard)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+}
+
+// TestHTTPWorkerEquivalence is the httptest-based remote equivalence
+// sweep: every real experiment at its committed baseline parameters,
+// served by 1/2/3 HTTP workers at varying chunk sizes, must hash
+// byte-identically to the committed PR 2 baseline records.
+func TestHTTPWorkerEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-trial sweeps")
+	}
+	for _, exp := range results.Experiments() {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			params, err := results.BaselineParams(exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed := committedBaselineHash(t, exp)
+			spec, err := experiment.Lookup(exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := spec.Plan(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tc := range []struct{ workers, chunk int }{
+				{1, 0}, {2, 1}, {3, 2}, {2, 5},
+			} {
+				coord, url := startCoordinator(t, spec, params, n, Config{Chunk: tc.chunk})
+				runGoroutineWorkers(t, url, tc.workers, 0)
+				shards, err := coord.Values()
+				if err != nil {
+					t.Fatalf("workers=%d chunk=%d: %v", tc.workers, tc.chunk, err)
+				}
+				rec, err := spec.Aggregate(params, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rec.Hash != committed {
+					t.Errorf("workers=%d chunk=%d: hash %.12s != committed baseline %.12s",
+						tc.workers, tc.chunk, rec.Hash, committed)
+				}
+			}
+		})
+	}
+}
+
+// committedBaselineHash loads the PR 2 baseline record's signature.
+func committedBaselineHash(t *testing.T, exp string) string {
+	t.Helper()
+	path := filepath.Join("..", "..", "results", "testdata", "baseline", exp+".jsonl")
+	recs, err := results.ReadFile(path)
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatalf("committed baseline %s is empty", path)
+	}
+	return recs[len(recs)-1].Hash
+}
+
+// post sends one JSON document and decodes the response into out when
+// the status is 2xx, returning the status either way.
+func postDoc(t *testing.T, url string, doc any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return postBytes(t, url, append(raw, '\n'), out)
+}
+
+func postBytes(t *testing.T, url string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %s response %q: %v", url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func grantLease(t *testing.T, url, worker string) Lease {
+	t.Helper()
+	var l Lease
+	if status := postDoc(t, url+"/lease", LeaseRequest{Worker: worker}, &l); status != http.StatusOK {
+		t.Fatalf("lease: status %d", status)
+	}
+	return l
+}
+
+// encodeValue marshals the remote-test spec's shard value for a shard.
+func encodeValue(t *testing.T, p results.Params, shard int) json.RawMessage {
+	t.Helper()
+	raw, err := json.Marshal(float64(shard*shard) + float64(p.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// fakeClock is a mutex-guarded test clock: HTTP handlers read it from
+// server goroutines while the test advances it.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestLeaseExpiryReissue: an unrenewed lease's unfinished shards go back
+// in the queue and are granted to the next asker; shards completed under
+// the expired lease stay completed.
+func TestLeaseExpiryReissue(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	p := results.Params{Trials: 4, Seed: 7}
+	spec := testSpec(t)
+	coord, url := startCoordinator(t, spec, p, 4, Config{Chunk: 4, Lease: time.Second, Now: clock.Now})
+
+	first := grantLease(t, url, "doomed")
+	if first.Start != 0 || first.End != 4 {
+		t.Fatalf("first lease = [%d,%d), want [0,4)", first.Start, first.End)
+	}
+	// The doomed worker completes shard 1, then stalls past its TTL.
+	var ack ResultAck
+	if status := postDoc(t, url+"/results", ResultLine{Lease: first.ID, ShardLine: experiment.ShardLine{Shard: 1, Value: encodeValue(t, p, 1)}}, &ack); status != http.StatusOK {
+		t.Fatalf("result: status %d", status)
+	}
+
+	// Before expiry: nothing to grant.
+	if l := grantLease(t, url, "vulture"); !l.Wait {
+		t.Fatalf("pre-expiry lease = %+v, want wait", l)
+	}
+	clock.Advance(2 * time.Second)
+	// After expiry the unfinished shards are re-issued as contiguous
+	// sub-spans around the completed shard 1: [0,1) then [2,4).
+	a := grantLease(t, url, "vulture")
+	b := grantLease(t, url, "vulture")
+	if a.Start != 0 || a.End != 1 || b.Start != 2 || b.End != 4 {
+		t.Fatalf("re-issued spans [%d,%d) [%d,%d), want [0,1) [2,4)", a.Start, a.End, b.Start, b.End)
+	}
+
+	// Renewing the expired lease must fail.
+	resp, err := http.Post(url+"/renew", "application/json", strings.NewReader(`{"id":"`+first.ID+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("renew of expired lease: status %d, want %d", resp.StatusCode, http.StatusGone)
+	}
+
+	// Completing the re-issued shards finishes the run; the late result
+	// for shard 1 was kept.
+	for _, shard := range []int{0, 2, 3} {
+		id := a.ID
+		if shard >= 2 {
+			id = b.ID
+		}
+		if status := postDoc(t, url+"/results", ResultLine{Lease: id, ShardLine: experiment.ShardLine{Shard: shard, Value: encodeValue(t, p, shard)}}, &ack); status != http.StatusOK {
+			t.Fatalf("shard %d: status %d", shard, status)
+		}
+	}
+	select {
+	case <-coord.Finished():
+	default:
+		t.Fatal("run not finished after all shards reported")
+	}
+	vals, err := coord.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if want := float64(i*i) + float64(p.Seed); v != want {
+			t.Errorf("shard %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+// TestRenewExtendsLease: a renewed lease survives its original TTL.
+func TestRenewExtendsLease(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(2000, 0)}
+	p := results.Params{Trials: 2}
+	_, url := startCoordinator(t, testSpec(t), p, 2, Config{Chunk: 2, Lease: time.Second, Now: clock.Now})
+
+	l := grantLease(t, url, "steady")
+	clock.Advance(900 * time.Millisecond)
+	var renewed Renewal
+	if status := postDoc(t, url+"/renew", RenewRequest{ID: l.ID}, &renewed); status != http.StatusOK {
+		t.Fatalf("renew: status %d", status)
+	}
+	clock.Advance(900 * time.Millisecond)
+	// 1.8s after grant but only 0.9s after renewal: still held.
+	if got := grantLease(t, url, "vulture"); !got.Wait {
+		t.Errorf("post-renew lease = %+v, want wait (lease still held)", got)
+	}
+}
+
+// TestResultRejection pins the coordinator's hard validation: each bad
+// /results body is rejected with the right status and leaves shard state
+// untouched.
+func TestResultRejection(t *testing.T) {
+	p := results.Params{Trials: 3}
+	for _, tc := range []struct {
+		name   string
+		body   func(t *testing.T, l Lease) []byte
+		status int
+	}{
+		{"malformed-json", func(t *testing.T, l Lease) []byte {
+			return []byte("{this is not json\n")
+		}, http.StatusBadRequest},
+		{"unknown-lease", func(t *testing.T, l Lease) []byte {
+			raw, _ := json.Marshal(ResultLine{Lease: "L999", ShardLine: experiment.ShardLine{Shard: 0, Value: encodeValue(t, p, 0)}})
+			return append(raw, '\n')
+		}, http.StatusGone},
+		{"out-of-range-shard", func(t *testing.T, l Lease) []byte {
+			raw, _ := json.Marshal(ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 99, Value: encodeValue(t, p, 0)}})
+			return append(raw, '\n')
+		}, http.StatusBadRequest},
+		{"corrupt-payload", func(t *testing.T, l Lease) []byte {
+			raw, _ := json.Marshal(ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Value: json.RawMessage(`"banana"`)}})
+			return append(raw, '\n')
+		}, http.StatusBadRequest},
+		{"empty-value", func(t *testing.T, l Lease) []byte {
+			raw, _ := json.Marshal(ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0}})
+			return append(raw, '\n')
+		}, http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			coord, url := startCoordinator(t, testSpec(t), p, 3, Config{Chunk: 3})
+			l := grantLease(t, url, "naughty")
+			if status := postBytes(t, url+"/results", tc.body(t, l), nil); status != tc.status {
+				t.Errorf("status %d, want %d", status, tc.status)
+			}
+			if _, err := coord.Values(); err == nil {
+				t.Error("rejected result completed the run")
+			}
+			select {
+			case <-coord.Finished():
+				t.Error("rejected result finished the run")
+			default:
+			}
+		})
+	}
+}
+
+// TestDuplicateResults: equal duplicate bytes are acknowledged
+// idempotently (re-issued leases make them inevitable); unequal bytes
+// for a done shard are a determinism violation that fails the run.
+func TestDuplicateResults(t *testing.T) {
+	p := results.Params{Trials: 2, Seed: 3}
+	coord, url := startCoordinator(t, testSpec(t), p, 2, Config{Chunk: 2})
+	l := grantLease(t, url, "dup")
+
+	line := ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Value: encodeValue(t, p, 0)}}
+	var ack ResultAck
+	if status := postDoc(t, url+"/results", line, &ack); status != http.StatusOK {
+		t.Fatalf("first post: status %d", status)
+	}
+	if status := postDoc(t, url+"/results", line, &ack); status != http.StatusOK || ack.Accepted != 1 {
+		t.Fatalf("equal duplicate: status %d ack %+v, want 200/accepted", status, ack)
+	}
+
+	bad := ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Value: json.RawMessage("12345")}}
+	if status := postDoc(t, url+"/results", bad, nil); status != http.StatusConflict {
+		t.Fatalf("mismatched duplicate: status %d, want %d", status, http.StatusConflict)
+	}
+	select {
+	case <-coord.Finished():
+	default:
+		t.Fatal("determinism violation did not finish (fail) the run")
+	}
+	if _, err := coord.Values(); err == nil || !strings.Contains(err.Error(), "determinism") {
+		t.Errorf("Values() error = %v, want determinism violation", err)
+	}
+}
+
+// TestStragglerAfterCompletion: faults arriving after the last shard
+// landed — a mismatched duplicate or an error line from a re-issued
+// lease's straggler — are rejected per line but must not panic the
+// handler, fail a completed run, or close the finished channel twice.
+func TestStragglerAfterCompletion(t *testing.T) {
+	p := results.Params{Trials: 2, Seed: 5}
+	coord, url := startCoordinator(t, testSpec(t), p, 2, Config{Chunk: 2})
+	l := grantLease(t, url, "fast")
+	for shard := 0; shard < 2; shard++ {
+		var ack ResultAck
+		if status := postDoc(t, url+"/results", ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: shard, Value: encodeValue(t, p, shard)}}, &ack); status != http.StatusOK {
+			t.Fatalf("shard %d: status %d", shard, status)
+		}
+	}
+	select {
+	case <-coord.Finished():
+	default:
+		t.Fatal("run not finished")
+	}
+
+	// A forged duplicate after completion: rejected with 409, run stays
+	// successful.
+	forged := ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Value: json.RawMessage("999")}}
+	if status := postDoc(t, url+"/results", forged, nil); status != http.StatusConflict {
+		t.Errorf("post-completion forged duplicate: status %d, want %d", status, http.StatusConflict)
+	}
+	// A late error line after completion: acknowledged, run stays
+	// successful.
+	late := ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 1, Err: "late boom"}}
+	if status := postDoc(t, url+"/results", late, nil); status != http.StatusOK {
+		t.Errorf("post-completion error line: status %d, want 200", status)
+	}
+	if _, err := coord.Values(); err != nil {
+		t.Errorf("completed run tainted by post-completion faults: %v", err)
+	}
+}
+
+// TestShardErrorFailsRun: a streamed shard failure fails the run and
+// subsequent lease polls say done, sending workers home.
+func TestShardErrorFailsRun(t *testing.T) {
+	p := results.Params{Trials: 2}
+	coord, url := startCoordinator(t, testSpec(t), p, 2, Config{Chunk: 1})
+	l := grantLease(t, url, "broken")
+	line := ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Err: "shard exploded"}}
+	if status := postDoc(t, url+"/results", line, nil); status != http.StatusOK {
+		t.Fatalf("error line: status %d", status)
+	}
+	if _, err := coord.Values(); err == nil || !strings.Contains(err.Error(), "exploded") {
+		t.Errorf("Values() error = %v, want shard failure", err)
+	}
+	if got := grantLease(t, url, "next"); !got.Done {
+		t.Errorf("post-failure lease = %+v, want done", got)
+	}
+}
+
+// TestRemoteBackendViaFactory: the factory registration resolves
+// "remote" and a full engine run over the backend matches an in-process
+// run of the same spec.
+func TestRemoteBackendViaFactory(t *testing.T) {
+	b, err := experiment.NewBackendOptions("remote", experiment.BackendOptions{Procs: 2, Chunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "remote" {
+		t.Fatalf("backend name = %q", b.Name())
+	}
+	if _, err := experiment.NewBackendOptions("carrier-pigeon", experiment.BackendOptions{}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	names := experiment.BackendNames()
+	want := []string{"inprocess", "remote", "subprocess"}
+	if len(names) != len(want) {
+		t.Fatalf("BackendNames() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("BackendNames() = %v, want %v", names, want)
+		}
+	}
+}

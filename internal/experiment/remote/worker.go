@@ -1,0 +1,315 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"specinterference/internal/experiment"
+)
+
+// jobFetchTimeout bounds how long a starting worker waits for the
+// coordinator to come up — the two-terminal quickstart should survive
+// starting the worker a few seconds before the coordinator.
+const jobFetchTimeout = 10 * time.Second
+
+// workerSeq disambiguates multiple in-process workers (tests run several
+// RunWorker goroutines against one httptest coordinator).
+var workerSeq atomic.Int64
+
+// RunWorker serves one coordinator until its job completes: fetch the
+// job, prepare per-process state once, then loop — lease a chunk, run
+// its shards through the shared experiment.RunShardLines path (workers
+// goroutines, 0 = serial), stream each result to /results as it
+// completes, renew the lease at a third of its TTL while the chunk is in
+// flight. A lost lease (the coordinator re-issued it after a stall)
+// cancels the chunk and moves on; the coordinator's byte-equality dedupe
+// makes any straggler results it already posted harmless. Returns nil
+// when the coordinator reports the job done.
+func RunWorker(ctx context.Context, connect string, workers int, logw io.Writer) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if logw == nil {
+		logw = io.Discard
+	}
+	base := strings.TrimRight(connect, "/")
+	if base == "" {
+		return fmt.Errorf("remote: worker needs a coordinator URL (-connect)")
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{}
+
+	job, err := fetchJob(ctx, client, base)
+	if err != nil {
+		return err
+	}
+	spec, err := experiment.Lookup(job.Experiment)
+	if err != nil {
+		return fmt.Errorf("remote: coordinator serves %w", err)
+	}
+	state, err := spec.PrepareState(job.Params)
+	if err != nil {
+		return err
+	}
+	lease := time.Duration(job.LeaseMillis) * time.Millisecond
+	if lease <= 0 {
+		lease = DefaultLease
+	}
+	hostname, _ := os.Hostname()
+	worker := fmt.Sprintf("%s-%d-%d", hostname, os.Getpid(), workerSeq.Add(1))
+	fmt.Fprintf(logw, "remote-worker %s: serving %s (%d shards) from %s\n", worker, job.Experiment, job.Shards, base)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, err := pollLease(ctx, client, base, worker)
+		if err != nil {
+			if isTransportErr(err) && ctx.Err() == nil {
+				// The coordinator is ephemeral — it serves one run and
+				// exits. Gone mid-poll means the run completed (or was
+				// aborted) and there is nothing left to serve.
+				fmt.Fprintf(logw, "remote-worker %s: coordinator gone (%v); exiting\n", worker, err)
+				return nil
+			}
+			return err
+		}
+		switch {
+		case grant.Done:
+			return nil
+		case grant.Wait:
+			poll := time.Duration(grant.PollMillis) * time.Millisecond
+			if poll <= 0 {
+				poll = 100 * time.Millisecond
+			}
+			select {
+			case <-time.After(poll):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		default:
+			if err := serveChunk(ctx, client, base, spec, state, job, grant, workers, lease); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// serveChunk runs one leased chunk, streaming results and renewing the
+// lease until the chunk completes or the lease is lost.
+func serveChunk(ctx context.Context, client *http.Client, base string, spec *experiment.Spec, state any, job Job, grant Lease, workers int, lease time.Duration) error {
+	chunkCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Renew at a third of the TTL. A renewal the coordinator refuses
+	// (410: expired, possibly re-issued) loses the lease immediately —
+	// someone else owns the chunk now. Transport blips are retried on the
+	// next tick: a single dropped packet must not throw away a chunk the
+	// coordinator still considers ours; two consecutive failures mean
+	// two-thirds of the TTL passed unrenewed, so the lease is as good as
+	// gone and the chunk is abandoned conservatively.
+	renewDone := make(chan struct{})
+	defer close(renewDone)
+	var leaseLost atomic.Bool
+	go func() {
+		t := time.NewTicker(lease / 3)
+		defer t.Stop()
+		transportFails := 0
+		for {
+			select {
+			case <-t.C:
+				var renewed Renewal
+				err := postJSON(chunkCtx, client, base+"/renew", RenewRequest{ID: grant.ID}, &renewed)
+				switch {
+				case err == nil:
+					transportFails = 0
+					continue
+				case isTransportErr(err) && chunkCtx.Err() == nil:
+					if transportFails++; transportFails < 2 {
+						continue
+					}
+				}
+				leaseLost.Store(true)
+				cancel()
+				return
+			case <-renewDone:
+				return
+			case <-chunkCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var transportErr error
+	runErr := experiment.RunShardLines(chunkCtx, spec, state, job.Params, grant.Start, grant.End, workers,
+		func(sl experiment.ShardLine) error {
+			var ack ResultAck
+			if err := postLine(chunkCtx, client, base+"/results", ResultLine{Lease: grant.ID, ShardLine: sl}, &ack); err != nil {
+				transportErr = err
+				return err
+			}
+			return nil
+		})
+	switch {
+	case leaseLost.Load():
+		// The chunk belongs to another worker now. Both the run-shard
+		// error (a cancelled context) and any post that failed on the
+		// cancelled context are expected, not fatal — including a shard
+		// that outlived the stall and failed to stream. Go lease
+		// something else; the re-issued chunk covers whatever was lost.
+		return nil
+	case transportErr != nil:
+		return fmt.Errorf("remote: stream results for lease %s: %w", grant.ID, transportErr)
+	case runErr != nil && ctx.Err() != nil:
+		return ctx.Err()
+	}
+	// A genuine shard failure was already streamed to the coordinator; it
+	// fails the run and the next lease poll returns Done. Keep serving —
+	// the worker's job is transport, the coordinator owns the verdict.
+	return nil
+}
+
+// pollLease asks for the next chunk, absorbing brief transport blips
+// (a few retries) so one dropped packet doesn't kill a worker; a
+// persistently unreachable coordinator surfaces as the final transport
+// error for the caller to classify.
+func pollLease(ctx context.Context, client *http.Client, base, worker string) (Lease, error) {
+	var grant Lease
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(300 * time.Millisecond):
+			case <-ctx.Done():
+				return Lease{}, ctx.Err()
+			}
+		}
+		err = postJSON(ctx, client, base+"/lease", LeaseRequest{Worker: worker}, &grant)
+		if err == nil || !isTransportErr(err) {
+			return grant, err
+		}
+	}
+	return Lease{}, err
+}
+
+// isTransportErr reports whether err is a network-level failure (the
+// coordinator unreachable) rather than a protocol rejection it answered
+// with; client.Do wraps every transport failure in *url.Error.
+func isTransportErr(err error) bool {
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// fetchJob GETs /job, retrying while the coordinator is still starting.
+func fetchJob(ctx context.Context, client *http.Client, base string) (Job, error) {
+	deadline := time.Now().Add(jobFetchTimeout)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/job", nil)
+		if err != nil {
+			return Job{}, err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return Job{}, fmt.Errorf("remote: %s/job: %s", base, resp.Status)
+			}
+			var job Job
+			if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+				return Job{}, fmt.Errorf("remote: decode job: %w", err)
+			}
+			return job, nil
+		}
+		if ctx.Err() != nil {
+			return Job{}, ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return Job{}, fmt.Errorf("remote: coordinator unreachable: %w", err)
+		}
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-ctx.Done():
+			return Job{}, ctx.Err()
+		}
+	}
+}
+
+// postJSON POSTs a JSON document and decodes the JSON response,
+// converting non-2xx statuses into errors.
+func postJSON(ctx context.Context, client *http.Client, url string, body, out any) error {
+	return post(ctx, client, url, mustJSON(body), out)
+}
+
+// postLine POSTs one newline-terminated result line.
+func postLine(ctx context.Context, client *http.Client, url string, line ResultLine, out *ResultAck) error {
+	return post(ctx, client, url, append(mustJSON(line), '\n'), out)
+}
+
+func post(ctx context.Context, client *http.Client, url string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(raw))
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("%s: decode response: %w", url, err)
+		}
+	}
+	return nil
+}
+
+// RunWorkerIfRequested turns the process into a remote HTTP worker when
+// it was started in -remote-worker mode (argv marker or the mirror env
+// var set by locally spawned workers) and never returns in that case; it
+// returns without side effects otherwise. Registered with
+// experiment.RegisterWorkerMode, so every binary calling
+// experiment.RunWorkerIfRequested (all experiment CLIs, resultstore,
+// test binaries) serves this mode too.
+func RunWorkerIfRequested() {
+	if os.Getenv(workerEnvVar) == "" && !(len(os.Args) > 1 && os.Args[1] == WorkerArg) {
+		return
+	}
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == WorkerArg {
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet("remote-worker", flag.ExitOnError)
+	connect := fs.String("connect", "", "coordinator base URL, e.g. http://host:8080 (required)")
+	parallel := fs.Int("parallel", 0, "shard goroutines inside this worker (0 = serial)")
+	fs.Parse(args)
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "remote-worker: -connect URL is required")
+		os.Exit(2)
+	}
+	if err := RunWorker(context.Background(), *connect, *parallel, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "remote-worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"specinterference/internal/results"
+)
+
+// test-stderr is a spec whose shards write diagnostics to stderr — from
+// inside the worker process when run under the subprocess backend — so
+// the framing of concurrent workers' stderr can be pinned.
+func init() {
+	Register(&Spec{
+		Name: "test-stderr",
+		Plan: func(p results.Params) (int, error) { return p.Trials, nil },
+		Run: func(_ context.Context, _ any, p results.Params, i int) (any, error) {
+			fmt.Fprintf(os.Stderr, "shard %d reporting\n", i)
+			return float64(i), nil
+		},
+		NewShard: func() any { return new(float64) },
+		Aggregate: func(p results.Params, shards []any) (*results.Record, error) {
+			return nil, fmt.Errorf("framing tests never aggregate")
+		},
+	})
+}
+
+// TestChunkSpans pins the scheduler granularity: explicit chunk sizes
+// tile [0, n) exactly; automatic sizing aims at about four chunks per
+// worker and never goes below one shard.
+func TestChunkSpans(t *testing.T) {
+	for _, tc := range []struct {
+		n, chunk, procs int
+		want            []Span
+	}{
+		{7, 3, 1, []Span{{0, 3}, {3, 6}, {6, 7}}},
+		{4, 10, 1, []Span{{0, 4}}},
+		{6, 1, 2, []Span{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}}},
+		// auto: 32 shards / (4 chunks × 2 procs) = 4 per chunk.
+		{32, 0, 2, []Span{{0, 4}, {4, 8}, {8, 12}, {12, 16}, {16, 20}, {20, 24}, {24, 28}, {28, 32}}},
+		// auto never drops below one shard per chunk.
+		{3, 0, 8, []Span{{0, 1}, {1, 2}, {2, 3}}},
+	} {
+		got := chunkSpans(tc.n, tc.chunk, tc.procs)
+		if len(got) != len(tc.want) {
+			t.Errorf("chunkSpans(%d,%d,%d) = %v, want %v", tc.n, tc.chunk, tc.procs, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("chunkSpans(%d,%d,%d)[%d] = %v, want %v", tc.n, tc.chunk, tc.procs, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestCopyPrefixedLines pins the framing primitive: every line gets the
+// prefix, and a final unterminated line (a crashing worker's last words)
+// is still emitted.
+func TestCopyPrefixedLines(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	CopyPrefixedLines(&buf, &mu, "[worker 3] ", strings.NewReader("alpha\nbeta\n\ngamma"))
+	want := "[worker 3] alpha\n[worker 3] beta\n[worker 3] \n[worker 3] gamma\n"
+	if buf.String() != want {
+		t.Errorf("framed output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+// TestCopyPrefixedLinesConcurrent: two sources sharing one mutex and
+// destination never interleave mid-line — the bug this framing fixes.
+func TestCopyPrefixedLinesConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	const lines = 200
+	src := func(id int) string {
+		var sb strings.Builder
+		for i := 0; i < lines; i++ {
+			fmt.Fprintf(&sb, "worker %d line %d\n", id, i)
+		}
+		return sb.String()
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			CopyPrefixedLines(&buf, &mu, fmt.Sprintf("[worker %d] ", id), strings.NewReader(src(id)))
+		}(id)
+	}
+	wg.Wait()
+
+	framed := regexp.MustCompile(`^\[worker ([01])\] worker ([01]) line \d+$`)
+	got := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(got) != 2*lines {
+		t.Fatalf("%d framed lines, want %d", len(got), 2*lines)
+	}
+	for _, line := range got {
+		m := framed.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed framed line %q", line)
+		}
+		if m[1] != m[2] {
+			t.Errorf("line %q framed under the wrong worker", line)
+		}
+	}
+}
+
+// TestSubprocessStderrFraming is the end-to-end pin: stderr from
+// concurrent worker processes arrives line-framed and attributed, and
+// every shard's diagnostic line survives exactly once.
+func TestSubprocessStderrFraming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	spec, err := Lookup("test-stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var buf bytes.Buffer
+	b := Subprocess{Procs: 2, Chunk: 2, Stderr: &buf}
+	out, err := b.Run(context.Background(), spec, results.Params{Trials: n}, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != float64(i) {
+			t.Errorf("shard %d = %v, want %v", i, v, float64(i))
+		}
+	}
+
+	framed := regexp.MustCompile(`^\[worker \d+\] shard (\d+) reporting$`)
+	seen := map[string]int{}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		m := framed.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("stderr line %q is not worker-framed", line)
+		}
+		seen[m[1]]++
+	}
+	if len(seen) != n {
+		t.Errorf("saw %d distinct shard diagnostics, want %d (%v)", len(seen), n, seen)
+	}
+	for shard, count := range seen {
+		if count != 1 {
+			t.Errorf("shard %s diagnostic appeared %d times", shard, count)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"specinterference/internal/core"
 	"specinterference/internal/emu"
 	"specinterference/internal/experiment"
+	"specinterference/internal/experiment/remote"
 	"specinterference/internal/isa"
 	"specinterference/internal/mem"
 	"specinterference/internal/results"
@@ -315,8 +316,12 @@ type (
 	// ExperimentSpec declares one experiment's decomposition into shards.
 	ExperimentSpec = experiment.Spec
 	// ExperimentBackend executes an experiment's shards: the in-process
-	// worker pool, or re-exec'd subprocess workers.
+	// worker pool, re-exec'd subprocess workers, or the remote HTTP
+	// coordinator leasing shard chunks to distributed workers.
 	ExperimentBackend = experiment.Backend
+	// ExperimentBackendOptions carries every backend-construction knob
+	// the CLIs expose (procs, workers, chunk, listen address, lease TTL).
+	ExperimentBackendOptions = experiment.BackendOptions
 )
 
 // InProcessBackend executes shards on a bounded goroutine pool in the
@@ -333,16 +338,39 @@ func SubprocessBackend(procs, workers int) ExperimentBackend {
 	return experiment.Subprocess{Procs: procs, Workers: workers}
 }
 
+// RemoteBackend starts an HTTP coordinator on listen ("" = a loopback
+// ephemeral port) that leases small shard chunks to workers: procs > 0
+// spawns that many local -remote-worker processes (the one-machine
+// work-stealing configuration), procs = 0 waits for external workers
+// started by hand against the printed URL. Expired leases are re-issued,
+// so worker crashes and stalls cost wall-clock, never correctness;
+// duplicate results are deduplicated by shard index with a byte-equality
+// assertion.
+func RemoteBackend(listen string, procs, workers int) ExperimentBackend {
+	return remote.Remote{Listen: listen, Procs: procs, Workers: workers}
+}
+
 // NewExperimentBackend constructs a backend from its CLI name,
-// "inprocess" or "subprocess".
+// "inprocess", "subprocess" or "remote".
 func NewExperimentBackend(name string, procs, workers int) (ExperimentBackend, error) {
 	return experiment.NewBackend(name, procs, workers)
 }
 
-// RunExperimentWorkerIfRequested turns the process into a shard worker
-// when the subprocess backend spawned it, and returns without side
-// effects otherwise. Binaries that run experiments through
-// SubprocessBackend must call it before any flag parsing.
+// NewExperimentBackendOptions constructs a backend from its CLI name and
+// the full option set — the constructor behind every -backend flag.
+func NewExperimentBackendOptions(name string, o ExperimentBackendOptions) (ExperimentBackend, error) {
+	return experiment.NewBackendOptions(name, o)
+}
+
+// ExperimentBackendNames lists the resolvable backend names.
+func ExperimentBackendNames() []string { return experiment.BackendNames() }
+
+// RunExperimentWorkerIfRequested turns the process into a shard worker —
+// a subprocess-backend stdin/stdout worker, or a remote-backend HTTP
+// worker (-remote-worker -connect URL) — when a backend spawned it or it
+// was started in a worker mode by hand, and returns without side effects
+// otherwise. Binaries that run experiments through SubprocessBackend or
+// RemoteBackend must call it before any flag parsing.
 func RunExperimentWorkerIfRequested() { experiment.RunWorkerIfRequested() }
 
 // ExperimentNames lists the registered experiment specs.
