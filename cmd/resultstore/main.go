@@ -10,8 +10,8 @@
 //	resultstore list     -store DIR
 //	resultstore show     [-store DIR] ref
 //	resultstore diff     [-store DIR] [-baseline DIR] refA [refB]
-//	resultstore check    -baseline DIR [-store DIR] [-parallel N] [-backend B] [-procs N] [-listen ADDR] [-lease TTL] [-chunk N]
-//	resultstore baseline -dir DIR [-parallel N] [-backend B] [-procs N] [-listen ADDR] [-lease TTL] [-chunk N]
+//	resultstore check    -baseline DIR [-store DIR] [-parallel N] [-backend B] [-procs N] [-listen ADDR] [-lease TTL] [-chunk N] [-journal DIR]
+//	resultstore baseline -dir DIR [-parallel N] [-backend B] [-procs N] [-listen ADDR] [-lease TTL] [-chunk N] [-journal DIR]
 //	resultstore bless    -baseline DIR [-store DIR] -reason STR
 //
 // A ref is "experiment" or "experiment@idx": figure7, table1, figure11 or
@@ -35,7 +35,10 @@
 // -procs knob) or remote (an HTTP coordinator leasing shard chunks to
 // -procs local workers over loopback, or to external -remote-worker
 // processes when -procs is 0), with bit-identical records on every
-// backend.
+// backend. With -backend remote, -journal DIR makes the coordinator
+// journal every accepted shard result to <DIR>/<experiment>.jsonl; a
+// check or baseline killed mid-run and re-invoked with the same
+// -journal replays the journal and reruns only the remaining shards.
 //
 // bless promotes each experiment's newest record in -store to the
 // committed baseline in one command, replacing the baseline record and
@@ -96,8 +99,8 @@ func usage() {
   resultstore list     -store DIR
   resultstore show     [-store DIR] experiment[@idx]
   resultstore diff     [-store DIR] [-baseline DIR] refA [refB]
-  resultstore check    -baseline DIR [-store DIR] [-parallel N] [-backend inprocess|subprocess|remote] [-procs N] [-listen ADDR] [-lease TTL] [-chunk N]
-  resultstore baseline -dir DIR [-parallel N] [-backend inprocess|subprocess|remote] [-procs N] [-listen ADDR] [-lease TTL] [-chunk N]
+  resultstore check    -baseline DIR [-store DIR] [-parallel N] [-backend inprocess|subprocess|remote] [-procs N] [-listen ADDR] [-lease TTL] [-chunk N] [-journal DIR]
+  resultstore baseline -dir DIR [-parallel N] [-backend inprocess|subprocess|remote] [-procs N] [-listen ADDR] [-lease TTL] [-chunk N] [-journal DIR]
   resultstore bless    -baseline DIR [-store DIR] -reason STR
 `)
 }
@@ -111,11 +114,12 @@ func backendFlags(fs *flag.FlagSet) func() (b si.ExperimentBackend, workers, pro
 	procsFlag := fs.Int("procs", 0, "worker processes: subprocess workers (0 = one per CPU) or local remote workers (0 = wait for external -remote-worker processes)")
 	listen := fs.String("listen", "", "remote backend: coordinator listen address (default 127.0.0.1:0)")
 	lease := fs.Duration("lease", 0, "remote backend: shard-lease TTL before unfinished work is re-issued (0 = 10s)")
-	chunk := fs.Int("chunk", 0, "shards per lease/dispatch chunk for the remote and subprocess schedulers (0 = automatic)")
+	chunk := fs.Int("chunk", 0, "shards per lease/dispatch chunk for the remote and subprocess schedulers (0 = automatic: subprocess uses about four chunks per worker; remote adapts to observed shard cost)")
+	journal := fs.String("journal", "", "remote backend: shard-result journal directory for resumable coordinator restarts (accepted results append to <dir>/<experiment>.jsonl; a restarted run replays it and serves only the remainder)")
 	return func() (si.ExperimentBackend, int, int, error) {
 		b, err := si.NewExperimentBackendOptions(*backend, si.ExperimentBackendOptions{
 			Procs: *procsFlag, Workers: *parallel,
-			Chunk: *chunk, Listen: *listen, Lease: *lease,
+			Chunk: *chunk, Listen: *listen, Lease: *lease, Journal: *journal,
 		})
 		return b, *parallel, *procsFlag, err
 	}

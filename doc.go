@@ -48,7 +48,7 @@
 //     collecting JSON-streamed results by shard index;
 //   - the remote backend (internal/experiment/remote) runs an HTTP
 //     coordinator (-listen ADDR, default a loopback ephemeral port)
-//     that leases those same chunks to workers over the network: the
+//     that leases shard chunks to workers over the network: the
 //     binary re-exec'd in a hidden -remote-worker mode against -procs N
 //     local processes, or started by hand on any machine
 //     (vulnmatrix -remote-worker -connect http://host:port). Leases
@@ -56,7 +56,20 @@
 //     leases are re-issued to other workers, so a crashed or stalled
 //     worker costs wall-clock, never correctness; duplicate results are
 //     deduplicated by shard index with a byte-equality assertion that
-//     turns any determinism violation into a hard run failure.
+//     turns any determinism violation into a hard run failure, while a
+//     stale straggler's error line for a shard someone else already
+//     completed is ignored. Scheduling is self-tuning: without a pinned
+//     -chunk, grant sizes track observed per-shard cost (one chunk per
+//     quarter TTL, within [1, n/8]), and re-issue deadlines tighten to
+//     each worker's observed renew cadence instead of the static TTL
+//     cliff. Every request carries a per-run random token and results
+//     are validated against the span their lease granted, so cross-run
+//     confusion and over-reaching workers are rejected (410/400). With
+//     -journal DIR the coordinator appends every accepted shard result
+//     to DIR/<experiment>.jsonl and, restarted against the same
+//     directory, replays the journal and serves only the remainder —
+//     kill the coordinator mid-run, restart it, and the final record
+//     signature still equals an uninterrupted run's.
 //
 // The seed-derivation contract makes the backend a pure wall-clock
 // knob: every shard's seed is an arithmetic function of its index alone
@@ -79,7 +92,7 @@
 // worker count), now thin wrappers over the same shared per-shard
 // primitives the engine uses. The four experiment CLIs sit on the
 // engine's shared driver and take common flags: -parallel, -backend,
-// -procs, -listen, -lease, -chunk, -json, -store, -progress (periodic
+// -procs, -listen, -lease, -chunk, -journal, -json, -store, -progress (periodic
 // shard-completion reporting to stderr, off by default) and -scale
 // (multiply trial-style counts — larger Figure 7 arms, more Figure 11
 // bits — for sweeps that span processes and machines).
@@ -110,10 +123,12 @@
 // The resultstore CLI drives the store: list and show browse history,
 // diff classifies two records (exit non-zero on regression), check
 // reruns every experiment at the committed baseline's parameters —
-// through any backend, via -backend/-procs/-listen/-lease/-chunk — and
-// fails on any regression-class change (the CI gate, run in-process,
-// through the subprocess backend, and through the remote backend with
-// leased loopback workers), baseline (re)writes the small-trial baseline
+// through any backend, via -backend/-procs/-listen/-lease/-chunk/
+// -journal — and fails on any regression-class change (the CI gate, run
+// in-process, through the subprocess backend, through the remote
+// backend with leased loopback workers, and once more with the
+// coordinator SIGKILLed mid-check and resumed from its journal),
+// baseline (re)writes the small-trial baseline
 // records committed under internal/results/testdata/baseline, and bless
 // promotes each experiment's newest store record to the committed
 // baseline in one command, stamping a provenance note (date, reason,

@@ -64,6 +64,11 @@ type BackendOptions struct {
 	Listen string
 	// Lease is the remote backend's lease time-to-live (0 = default).
 	Lease time.Duration
+	// Journal is the remote coordinator's shard-result journal
+	// directory ("" = journaling disabled): accepted results append to
+	// <dir>/<experiment>.jsonl, and a restarted coordinator replays a
+	// compatible journal and serves only the remainder.
+	Journal string
 }
 
 // BackendFactory constructs a backend from CLI options.

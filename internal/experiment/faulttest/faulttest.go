@@ -29,6 +29,10 @@ import (
 type Shim struct {
 	// Base is the coordinator's base URL (no trailing slash).
 	Base string
+	// Run is the run token echoed on every request. Sync fills it from
+	// the coordinator's job; leave it stale (or forge it) to play a
+	// worker from another run.
+	Run string
 	// Client overrides the HTTP client (nil = http.DefaultClient).
 	Client *http.Client
 }
@@ -55,9 +59,19 @@ func (s *Shim) Job() (remote.Job, error) {
 	return job, err
 }
 
+// Sync fetches the job and adopts its run token — what a well-behaved
+// worker does before its first lease.
+func (s *Shim) Sync() (remote.Job, error) {
+	job, err := s.Job()
+	if err == nil {
+		s.Run = job.Run
+	}
+	return job, err
+}
+
 // Lease claims the next chunk under the given worker identity.
 func (s *Shim) Lease(worker string) (remote.Lease, error) {
-	body, _ := json.Marshal(remote.LeaseRequest{Worker: worker})
+	body, _ := json.Marshal(remote.LeaseRequest{Worker: worker, Run: s.Run})
 	resp, err := s.client().Post(s.Base+"/lease", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return remote.Lease{}, err
@@ -73,7 +87,7 @@ func (s *Shim) Lease(worker string) (remote.Lease, error) {
 
 // Renew renews a lease and returns the HTTP status (200 alive, 410 gone).
 func (s *Shim) Renew(leaseID string) (int, error) {
-	body, _ := json.Marshal(remote.RenewRequest{ID: leaseID})
+	body, _ := json.Marshal(remote.RenewRequest{ID: leaseID, Run: s.Run})
 	resp, err := s.client().Post(s.Base+"/renew", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
@@ -103,11 +117,18 @@ func (s *Shim) PostRaw(body []byte) (int, remote.ResultAck, error) {
 
 // PostLine posts one well-formed result line under a lease.
 func (s *Shim) PostLine(leaseID string, sl experiment.ShardLine) (int, remote.ResultAck, error) {
-	raw, err := json.Marshal(remote.ResultLine{Lease: leaseID, ShardLine: sl})
+	raw, err := json.Marshal(remote.ResultLine{Run: s.Run, Lease: leaseID, ShardLine: sl})
 	if err != nil {
 		return 0, remote.ResultAck{}, err
 	}
 	return s.PostRaw(append(raw, '\n'))
+}
+
+// PostErrorLine posts a shard-failure line under a lease — the
+// straggler poison move: a worker whose lease was re-issued reporting
+// a failure for work someone else already finished.
+func (s *Shim) PostErrorLine(leaseID string, shard int, msg string) (int, remote.ResultAck, error) {
+	return s.PostLine(leaseID, experiment.ShardLine{Shard: shard, Err: msg})
 }
 
 // CorrectLine computes the honest result line for one shard — what a

@@ -3,6 +3,8 @@ package remote
 import (
 	"bufio"
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -21,14 +23,26 @@ const DefaultLease = 10 * time.Second
 
 // Config tunes a Coordinator.
 type Config struct {
-	// Chunk is the shards-per-lease granularity (0 = automatic:
-	// n/32 clamped to at least 1 — small enough that uneven shard costs
-	// level out, large enough that HTTP round-trips stay negligible).
+	// Chunk pins the shards-per-lease granularity. 0 means adaptive:
+	// grants start at n/32 (clamped to at least 1) and then track the
+	// observed per-shard completion cost, aiming for one chunk per
+	// quarter lease TTL within [1, n/8] — so cheap shards coalesce into
+	// bigger grants and expensive ones (AD-ordering cells calibrate
+	// twice) stop mispricing a fixed split. Chunking only ever moves
+	// scheduling, never values.
 	Chunk int
 	// Lease is the lease TTL (0 = DefaultLease).
 	Lease time.Duration
+	// Journal is the path of the shard-result journal file ("" = no
+	// journal): a run header plus every accepted result, appended as
+	// JSONL. An existing compatible journal is replayed on startup so a
+	// restarted coordinator serves only the remainder; an incompatible
+	// one (different experiment, params signature or shard count) is a
+	// hard startup error, never a silent partial reuse.
+	Journal string
 	// OnShardDone, when non-nil, fires once per newly completed shard
-	// (the engine's progress hook). Duplicate results never re-fire it.
+	// (the engine's progress hook), replayed journal shards included.
+	// Duplicate results never re-fire it.
 	OnShardDone func()
 	// Now overrides the clock, for tests (nil = time.Now).
 	Now func() time.Time
@@ -39,45 +53,87 @@ type leaseState struct {
 	id      string
 	worker  string
 	span    experiment.Span
-	expires time.Time
+	expires time.Time // hard re-issue cliff: last renewal + TTL
+	// lastBeat is the last sign of life under this lease (grant, renew
+	// or accepted result); the adaptive re-issue deadline hangs off it.
+	lastBeat time.Time
+	// lastRenew anchors the renew-cadence estimate (initially the grant
+	// time). Kept separate from lastBeat: result arrivals are beats but
+	// not renewals, and folding them in would collapse the cadence to
+	// the inter-result interval and sweep healthy workers mid-chunk.
+	lastRenew time.Time
+	// lastProgress is the previous result arrival (or the grant), for
+	// the per-shard cost estimate.
+	lastProgress time.Time
+	// started is set once a result arrived under this lease; an
+	// unstarted grant is returned verbatim to a re-polling worker, so a
+	// lease response lost in transit never orphans a chunk for a TTL.
+	started bool
 }
 
 // Coordinator owns one experiment run's shard state machine: a queue of
-// unleased chunks, the outstanding leases, and the accepted results. It
+// unleased spans, the outstanding leases, and the accepted results. It
 // is an http.Handler serving the wire protocol; every mutation happens
 // under one mutex, so concurrent workers see a consistent queue.
 type Coordinator struct {
 	spec   *experiment.Spec
 	params results.Params
 	n      int
-	chunk  int
+	run    string // per-run random token every request must echo
+	chunk  int    // pinned grant size, or the adaptive starting size
+	fixed  bool   // Config.Chunk pinned the grant size
+	maxCh  int    // adaptive grant-size ceiling
 	lease  time.Duration
 	onDone func()
 	now    func() time.Time
 
 	mu        sync.Mutex
-	pending   []experiment.Span      // unleased chunks, FIFO
+	pending   []experiment.Span      // unleased spans, FIFO
 	leases    map[string]*leaseState // outstanding grants
-	issued    map[string]bool        // every grant ever made (expired included)
+	issued    map[string]experiment.Span
+	byWorker  map[string]string        // worker name -> its latest lease id
+	cadence   map[string]time.Duration // worker name -> EWMA renew interval
+	costEWMA  time.Duration            // observed per-shard completion cost
 	nextID    int
 	done      []bool   // per-shard completion
 	values    []any    // decoded shard values, by index
 	raw       [][]byte // accepted result bytes, for the byte-equality assertion
 	remaining int
+	replayed  int // shards restored from the journal at startup
+	journal   *journal
 	fatal     error
 	finished  chan struct{}
 }
 
+// newRunToken mints the per-run random token that scopes every lease,
+// renewal and result line to this coordinator instance: predictable
+// lease ids (L1, L2, ...) collide across runs, so a worker left talking
+// to a restarted coordinator on the same port must be told "different
+// run" (410) instead of having its stale payloads accepted.
+func newRunToken() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("remote: run token entropy unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // NewCoordinator builds the coordinator for shards [0, n) of spec at
-// params. The caller serves Handler() somewhere workers can reach and
-// waits on Finished.
-func NewCoordinator(spec *experiment.Spec, p results.Params, n int, cfg Config) *Coordinator {
+// params, replaying cfg.Journal first when one is configured. The
+// caller serves Handler() somewhere workers can reach, waits on
+// Finished, and Closes the coordinator when done with it.
+func NewCoordinator(spec *experiment.Spec, p results.Params, n int, cfg Config) (*Coordinator, error) {
 	chunk := cfg.Chunk
-	if chunk <= 0 {
+	fixed := chunk > 0
+	if !fixed {
 		chunk = n / 32
 		if chunk < 1 {
 			chunk = 1
 		}
+	}
+	maxCh := n / 8
+	if maxCh < chunk {
+		maxCh = chunk
 	}
 	lease := cfg.Lease
 	if lease <= 0 {
@@ -89,21 +145,82 @@ func NewCoordinator(spec *experiment.Spec, p results.Params, n int, cfg Config) 
 	}
 	c := &Coordinator{
 		spec: spec, params: p, n: n,
-		chunk: chunk, lease: lease,
+		run:   newRunToken(),
+		chunk: chunk, fixed: fixed, maxCh: maxCh, lease: lease,
 		onDone: cfg.OnShardDone, now: now,
 		leases:    map[string]*leaseState{},
-		issued:    map[string]bool{},
+		issued:    map[string]experiment.Span{},
+		byWorker:  map[string]string{},
+		cadence:   map[string]time.Duration{},
 		done:      make([]bool, n),
 		values:    make([]any, n),
 		raw:       make([][]byte, n),
 		remaining: n,
 		finished:  make(chan struct{}),
 	}
-	c.pending = experiment.Spans(n, chunk)
-	if n == 0 {
+	if cfg.Journal != "" {
+		j, replayed, err := openJournal(cfg.Journal, spec, p, n, c.run, c.replayEntry)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+		c.replayed = replayed
+	}
+	// The queue holds only what is left to serve: the contiguous
+	// not-done sub-spans of [0, n) — all of it on a fresh run, the
+	// remainder after a journal replay.
+	c.requeueUndone(experiment.Span{Start: 0, End: n})
+	if c.remaining == 0 {
 		close(c.finished)
 	}
-	return c
+	return c, nil
+}
+
+// replayEntry restores one journaled shard result during startup — the
+// same acceptance a live result gets, minus re-journaling. Any defect
+// (a failure line, an out-of-range index, undecodable bytes, two
+// entries for one shard that disagree) makes the whole journal corrupt.
+func (c *Coordinator) replayEntry(sl experiment.ShardLine) error {
+	if sl.Err != "" {
+		return fmt.Errorf("entry for shard %d records a failure; failures are never journaled", sl.Shard)
+	}
+	if sl.Shard < 0 || sl.Shard >= c.n {
+		return fmt.Errorf("entry shard %d out of range [0,%d)", sl.Shard, c.n)
+	}
+	if c.done[sl.Shard] {
+		if bytes.Equal(c.raw[sl.Shard], sl.Value) {
+			return nil
+		}
+		return fmt.Errorf("shard %d journaled twice with different bytes", sl.Shard)
+	}
+	v, err := experiment.DecodeShard(c.spec, sl.Value)
+	if err != nil {
+		return fmt.Errorf("shard %d: undecodable journaled value: %w", sl.Shard, err)
+	}
+	c.values[sl.Shard] = v
+	c.raw[sl.Shard] = append([]byte(nil), sl.Value...)
+	c.done[sl.Shard] = true
+	c.remaining--
+	if c.onDone != nil {
+		c.onDone()
+	}
+	return nil
+}
+
+// Replayed reports how many shards the startup journal replay restored.
+func (c *Coordinator) Replayed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replayed
+}
+
+// Close releases the coordinator's journal handle (a no-op without one).
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.journal
+	c.journal = nil
+	return j.close()
 }
 
 // Finished is closed when every shard has a result or the run failed.
@@ -136,19 +253,44 @@ func (c *Coordinator) fail(err error) {
 	close(c.finished)
 }
 
-// sweepExpired reclaims every lease past its TTL: the contiguous runs of
-// not-yet-done shards inside its chunk go back in the queue for other
-// workers — this is the crash tolerance and the work stealing in one
-// move. Callers hold mu.
+// sweepExpired reclaims every lease past its re-issue deadline: the
+// contiguous runs of not-yet-done shards inside its span go back in the
+// queue for other workers — this is the crash tolerance and the work
+// stealing in one move. Callers hold mu.
 func (c *Coordinator) sweepExpired() {
 	now := c.now()
 	for id, l := range c.leases {
-		if now.Before(l.expires) {
+		if now.Before(c.reissueDeadline(l)) {
 			continue
 		}
 		c.requeueUndone(l.span)
 		delete(c.leases, id)
 	}
+}
+
+// reissueDeadline is when an unrenewed lease's work goes back in the
+// queue: the hard TTL cliff, tightened for a worker whose observed
+// renew cadence says it should have checked in well before it — a fast
+// heartbeat that stops is a crash signal worth acting on early. The
+// adaptive deadline is three missed beats past the last sign of life,
+// bounded to [TTL/2, TTL] (the floor keeps a worker renewing at the
+// standard TTL/3 tick safe through several slow beats), and only ever
+// moves re-issue timing, never result acceptance. Callers hold mu.
+func (c *Coordinator) reissueDeadline(l *leaseState) time.Time {
+	deadline := l.expires
+	if cad, ok := c.cadence[l.worker]; ok && l.worker != "" {
+		grace := 3 * cad
+		if min := c.lease / 2; grace < min {
+			grace = min
+		}
+		if grace > c.lease {
+			grace = c.lease
+		}
+		if d := l.lastBeat.Add(grace); d.Before(deadline) {
+			deadline = d
+		}
+	}
+	return deadline
 }
 
 // requeueUndone pushes the contiguous not-done sub-spans of sp back onto
@@ -166,6 +308,42 @@ func (c *Coordinator) requeueUndone(sp experiment.Span) {
 			c.pending = append(c.pending, experiment.Span{Start: start, End: i})
 			start = -1
 		}
+	}
+}
+
+// targetChunk is the shards-per-grant size: the configured size when
+// pinned, otherwise adapted so one chunk costs about a quarter of the
+// lease TTL at the observed per-shard completion cost. Callers hold mu.
+func (c *Coordinator) targetChunk() int {
+	if c.fixed || c.costEWMA <= 0 {
+		return c.chunk
+	}
+	k := int((c.lease / 4) / c.costEWMA)
+	if k < 1 {
+		k = 1
+	}
+	if k > c.maxCh {
+		k = c.maxCh
+	}
+	return k
+}
+
+// observeCost folds one shard completion into the per-shard cost EWMA
+// driving adaptive chunk sizing; a result from an already-expired lease
+// carries no usable timing. Callers hold mu.
+func (c *Coordinator) observeCost(l *leaseState, now time.Time) {
+	if l == nil {
+		return
+	}
+	dt := now.Sub(l.lastProgress)
+	l.lastProgress = now
+	if dt < time.Microsecond {
+		dt = time.Microsecond // instantaneous arrivals still mean "cheap"
+	}
+	if c.costEWMA <= 0 {
+		c.costEWMA = dt
+	} else {
+		c.costEWMA = (3*c.costEWMA + dt) / 4
 	}
 }
 
@@ -187,7 +365,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Job{
-		Experiment: c.spec.Name, Params: c.params,
+		Experiment: c.spec.Name, Params: c.params, Run: c.run,
 		Shards: c.n, LeaseMillis: c.lease.Milliseconds(),
 	})
 }
@@ -218,28 +396,61 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if req.Run != c.run {
+		http.Error(w, fmt.Sprintf("lease request names run %q; this coordinator serves run %q", req.Run, c.run), http.StatusGone)
+		return
+	}
+	now := c.now()
 	c.sweepExpired()
 	if c.fatal != nil || c.remaining == 0 {
-		writeJSON(w, http.StatusOK, Lease{Done: true})
+		writeJSON(w, http.StatusOK, Lease{Done: true, Run: c.run})
 		return
+	}
+	// Idempotent re-poll: a worker holding an unexpired grant it never
+	// started (no results arrived) gets the same grant back — the retry
+	// after a lease response lost in transit, not a request for more.
+	if req.Worker != "" {
+		if id, ok := c.byWorker[req.Worker]; ok {
+			if l := c.leases[id]; l != nil && !l.started {
+				l.expires = now.Add(c.lease)
+				l.lastBeat = now
+				writeJSON(w, http.StatusOK, Lease{
+					ID: l.id, Run: c.run, Start: l.span.Start, End: l.span.End,
+					ExpiresMillis: c.lease.Milliseconds(),
+				})
+				return
+			}
+		}
 	}
 	if len(c.pending) == 0 {
-		writeJSON(w, http.StatusOK, Lease{Wait: true, PollMillis: c.pollInterval().Milliseconds()})
+		writeJSON(w, http.StatusOK, Lease{Wait: true, Run: c.run, PollMillis: c.pollInterval().Milliseconds()})
 		return
 	}
+	// Carve the grant off the head span at the current target size; the
+	// remainder goes back to the front so the queue stays FIFO.
 	sp := c.pending[0]
 	c.pending = c.pending[1:]
+	if k := c.targetChunk(); sp.End-sp.Start > k {
+		c.pending = append([]experiment.Span{{Start: sp.Start + k, End: sp.End}}, c.pending...)
+		sp.End = sp.Start + k
+	}
 	c.nextID++
 	l := &leaseState{
-		id:      fmt.Sprintf("L%d", c.nextID),
-		worker:  req.Worker,
-		span:    sp,
-		expires: c.now().Add(c.lease),
+		id:           fmt.Sprintf("L%d", c.nextID),
+		worker:       req.Worker,
+		span:         sp,
+		expires:      now.Add(c.lease),
+		lastBeat:     now,
+		lastRenew:    now,
+		lastProgress: now,
 	}
 	c.leases[l.id] = l
-	c.issued[l.id] = true
+	c.issued[l.id] = sp
+	if req.Worker != "" {
+		c.byWorker[req.Worker] = l.id
+	}
 	writeJSON(w, http.StatusOK, Lease{
-		ID: l.id, Start: sp.Start, End: sp.End,
+		ID: l.id, Run: c.run, Start: sp.Start, End: sp.End,
 		ExpiresMillis: c.lease.Milliseconds(),
 	})
 }
@@ -256,8 +467,14 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if req.Run != c.run {
+		http.Error(w, fmt.Sprintf("renewal names run %q; this coordinator serves run %q", req.Run, c.run), http.StatusGone)
+		return
+	}
+	c.sweepExpired()
 	l, ok := c.leases[req.ID]
-	if !ok || !c.now().Before(l.expires) {
+	now := c.now()
+	if !ok || !now.Before(l.expires) {
 		// Expired (possibly re-issued already): the worker must abandon
 		// the chunk. Results it already streamed remain accepted.
 		if ok {
@@ -267,19 +484,32 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "lease expired or unknown", http.StatusGone)
 		return
 	}
-	l.expires = c.now().Add(c.lease)
+	// Fold the renew-to-renew interval into the worker's cadence
+	// estimate; the adaptive re-issue deadline rides on it.
+	if l.worker != "" {
+		if dt := now.Sub(l.lastRenew); dt > 0 {
+			if old, seen := c.cadence[l.worker]; seen {
+				c.cadence[l.worker] = (3*old + dt) / 4
+			} else {
+				c.cadence[l.worker] = dt
+			}
+		}
+	}
+	l.lastRenew = now
+	l.lastBeat = now
+	l.expires = now.Add(c.lease)
 	writeJSON(w, http.StatusOK, Renewal{ExpiresMillis: c.lease.Milliseconds()})
 }
 
 // handleResults ingests a stream of ResultLine documents, one per line.
 // Lines are validated hard — the coordinator trusts no worker: malformed
-// JSON, never-issued lease ids, out-of-range shard indexes and payloads
-// that don't decode as the spec's shard type are rejected with a 4xx
-// without corrupting shard state (the shard stays pending or leased and
-// will be served again). A duplicate of an already-done shard must be
-// byte-identical to the accepted result: equal bytes are acknowledged
-// idempotently, unequal bytes are a determinism-contract violation that
-// fails the whole run (409).
+// JSON, wrong run tokens, never-issued lease ids, out-of-range or
+// out-of-span shard indexes and payloads that don't decode as the spec's
+// shard type are rejected with a 4xx without corrupting shard state (the
+// shard stays pending or leased and will be served again). A duplicate
+// of an already-done shard must be byte-identical to the accepted
+// result: equal bytes are acknowledged idempotently, unequal bytes are a
+// determinism-contract violation that fails the whole run (409).
 func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -315,11 +545,50 @@ func (c *Coordinator) acceptResult(line []byte) (int, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.issued[rl.Lease] {
+	if rl.Run != c.run {
+		return http.StatusGone, fmt.Errorf("result names run %q; this coordinator serves run %q", rl.Run, c.run)
+	}
+	span, issued := c.issued[rl.Lease]
+	if !issued {
 		return http.StatusGone, fmt.Errorf("result names lease %q this coordinator never issued", rl.Lease)
 	}
 	if rl.Shard < 0 || rl.Shard >= c.n {
 		return http.StatusBadRequest, fmt.Errorf("shard %d out of range [0,%d)", rl.Shard, c.n)
+	}
+	if rl.Shard < span.Start || rl.Shard >= span.End {
+		return http.StatusBadRequest, fmt.Errorf("shard %d outside lease %s's span [%d,%d)", rl.Shard, rl.Lease, span.Start, span.End)
+	}
+	now := c.now()
+	// Only lines the coordinator actually accepts count as signs of life
+	// (and as "the grant was started"): rejected garbage must not keep a
+	// babbling-but-stuck worker's lease alive or defeat the unstarted
+	// re-poll idempotency.
+	l := c.leases[rl.Lease]
+	beat := func(started bool) {
+		if l != nil {
+			l.lastBeat = now
+			if started {
+				l.started = true
+			}
+		}
+	}
+	if c.done[rl.Shard] {
+		switch {
+		case rl.Err != "":
+			// A straggler from a re-issued lease reporting a failure for
+			// a shard someone else already completed: moot by then — the
+			// accepted bytes satisfied the determinism contract, so the
+			// stale error must not poison the run.
+			beat(false)
+			return http.StatusOK, nil
+		case bytes.Equal(c.raw[rl.Shard], rl.Value):
+			beat(true)
+			return http.StatusOK, nil // idempotent duplicate from a re-issued lease
+		default:
+			err := fmt.Errorf("remote: shard %d: duplicate result differs from accepted bytes — determinism contract violated", rl.Shard)
+			c.fail(err)
+			return http.StatusConflict, err
+		}
 	}
 	if rl.Err != "" {
 		// A shard that genuinely fails would fail identically anywhere —
@@ -330,22 +599,24 @@ func (c *Coordinator) acceptResult(line []byte) (int, error) {
 	if len(rl.Value) == 0 {
 		return http.StatusBadRequest, fmt.Errorf("shard %d: empty result value", rl.Shard)
 	}
-	if c.done[rl.Shard] {
-		if bytes.Equal(c.raw[rl.Shard], rl.Value) {
-			return http.StatusOK, nil // idempotent duplicate from a re-issued lease
-		}
-		err := fmt.Errorf("remote: shard %d: duplicate result differs from accepted bytes — determinism contract violated", rl.Shard)
-		c.fail(err)
-		return http.StatusConflict, err
-	}
 	v, err := experiment.DecodeShard(c.spec, rl.Value)
 	if err != nil {
 		return http.StatusBadRequest, fmt.Errorf("shard %d: corrupt payload: %w", rl.Shard, err)
 	}
+	if c.journal != nil {
+		if err := c.journal.append(rl.ShardLine); err != nil {
+			// A journal that cannot record what it accepted is a broken
+			// restart contract; failing loudly beats resuming wrong.
+			c.fail(err)
+			return http.StatusInternalServerError, err
+		}
+	}
+	beat(true)
 	c.values[rl.Shard] = v
 	c.raw[rl.Shard] = append([]byte(nil), rl.Value...)
 	c.done[rl.Shard] = true
 	c.remaining--
+	c.observeCost(l, now)
 	if c.onDone != nil {
 		c.onDone()
 	}

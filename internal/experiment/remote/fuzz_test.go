@@ -26,7 +26,7 @@ func FuzzLeaseRequest(f *testing.F) {
 		// protocol actually produces); arbitrary bytes may be normalized
 		// to U+FFFD by encoding/json, so the universal property is
 		// marshal→unmarshal→marshal idempotence.
-		req := LeaseRequest{Worker: worker}
+		req := LeaseRequest{Worker: worker, Run: id}
 		raw, err := json.Marshal(req)
 		if err != nil {
 			t.Fatalf("marshal LeaseRequest: %v", err)
@@ -35,7 +35,7 @@ func FuzzLeaseRequest(f *testing.F) {
 		if err := json.Unmarshal(raw, &req2); err != nil {
 			t.Fatalf("unmarshal LeaseRequest: %v", err)
 		}
-		if utf8.ValidString(worker) && req2 != req {
+		if utf8.ValidString(worker) && utf8.ValidString(id) && req2 != req {
 			t.Errorf("LeaseRequest round-trip: %+v -> %+v", req, req2)
 		}
 		raw2, err := json.Marshal(req2)
@@ -51,7 +51,7 @@ func FuzzLeaseRequest(f *testing.F) {
 		}
 
 		lease := Lease{
-			ID: id, Start: int(start), End: int(end),
+			ID: id, Run: worker, Start: int(start), End: int(end),
 			ExpiresMillis: expires, Wait: wait, Done: done,
 			PollMillis: expires / 2,
 		}
@@ -63,7 +63,7 @@ func FuzzLeaseRequest(f *testing.F) {
 		if err := json.Unmarshal(raw, &lease2); err != nil {
 			t.Fatalf("unmarshal Lease: %v", err)
 		}
-		if utf8.ValidString(id) && lease2 != lease {
+		if utf8.ValidString(id) && utf8.ValidString(worker) && lease2 != lease {
 			t.Errorf("Lease round-trip: %+v -> %+v", lease, lease2)
 		}
 		raw2, err = json.Marshal(lease2)
@@ -87,23 +87,32 @@ func FuzzLeaseRequest(f *testing.F) {
 // seeds include valid lines) but must never complete more shards than
 // exist or corrupt a completed value.
 func FuzzResultLine(f *testing.F) {
-	valid, _ := json.Marshal(ResultLine{Lease: "L1", ShardLine: experiment.ShardLine{Shard: 0, Value: json.RawMessage("42")}})
-	errLine, _ := json.Marshal(ResultLine{Lease: "L1", ShardLine: experiment.ShardLine{Shard: 1, Err: "boom"}})
+	// The fuzz coordinator's run token is pinned to "RT" (the test owns
+	// the unexported field) so static seeds can exercise the accept path;
+	// seeds with other tokens cover the 410 cross-run rejection.
+	valid, _ := json.Marshal(ResultLine{Run: "RT", Lease: "L1", ShardLine: experiment.ShardLine{Shard: 0, Value: json.RawMessage("42")}})
+	errLine, _ := json.Marshal(ResultLine{Run: "RT", Lease: "L1", ShardLine: experiment.ShardLine{Shard: 1, Err: "boom"}})
 	f.Add(append(valid, '\n'))
 	f.Add(errLine)
-	f.Add([]byte("{\"lease\":\"L1\",\"shard\":99,\"value\":3}\n"))
-	f.Add([]byte("{\"lease\":\"L999\",\"shard\":0,\"value\":3}\n"))
+	f.Add([]byte("{\"run\":\"RT\",\"lease\":\"L1\",\"shard\":99,\"value\":3}\n"))
+	f.Add([]byte("{\"run\":\"RT\",\"lease\":\"L999\",\"shard\":0,\"value\":3}\n"))
+	f.Add([]byte("{\"run\":\"other-run\",\"lease\":\"L1\",\"shard\":0,\"value\":3}\n"))
+	f.Add([]byte("{\"lease\":\"L1\",\"shard\":0,\"value\":3}\n"))
 	f.Add([]byte("not json at all"))
-	f.Add([]byte("{\"lease\":\"L1\",\"shard\":0,\"value\":\"banana\"}\n"))
+	f.Add([]byte("{\"run\":\"RT\",\"lease\":\"L1\",\"shard\":0,\"value\":\"banana\"}\n"))
 	f.Add(bytes.Repeat([]byte("{}\n"), 50))
 	f.Add([]byte("\x00\xff\xfe{\n\n"))
 
 	f.Fuzz(func(t *testing.T, body []byte) {
-		coord := NewCoordinator(fuzzSpec(), results.Params{Trials: 3}, 3, Config{Chunk: 3})
+		coord, err := NewCoordinator(fuzzSpec(), results.Params{Trials: 3}, 3, Config{Chunk: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord.run = "RT"
 		srv := httptest.NewServer(coord.Handler())
 		defer srv.Close()
 		// Issue L1 so seeds that reference it exercise the accept path.
-		resp, err := http.Post(srv.URL+"/lease", "application/json", bytes.NewReader([]byte(`{"worker":"fuzz"}`)))
+		resp, err := http.Post(srv.URL+"/lease", "application/json", bytes.NewReader([]byte(`{"worker":"fuzz","run":"RT"}`)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,15 +162,15 @@ func fuzzSpec() *experiment.Spec {
 }
 
 // TestResultLineRoundTrip pins the ResultLine wire shape: the embedded
-// ShardLine fields flatten into the same object as the lease tag, and
-// values survive untouched.
+// ShardLine fields flatten into the same object as the run and lease
+// tags, and values survive untouched.
 func TestResultLineRoundTrip(t *testing.T) {
-	in := ResultLine{Lease: "L3", ShardLine: experiment.ShardLine{Shard: 7, Value: json.RawMessage(`{"x":1.5}`)}}
+	in := ResultLine{Run: "R1", Lease: "L3", ShardLine: experiment.ShardLine{Shard: 7, Value: json.RawMessage(`{"x":1.5}`)}}
 	raw, err := json.Marshal(in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"lease":"L3","shard":7,"value":{"x":1.5}}`
+	want := `{"run":"R1","lease":"L3","shard":7,"value":{"x":1.5}}`
 	if string(raw) != want {
 		t.Errorf("wire form %s, want %s", raw, want)
 	}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package remote
+
+import "os"
+
+// lockJournal is a no-op where flock is unavailable; concurrent
+// coordinators on one journal file are unguarded on such platforms.
+func lockJournal(*os.File) error { return nil }

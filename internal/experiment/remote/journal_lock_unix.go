@@ -1,0 +1,18 @@
+//go:build unix
+
+package remote
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockJournal takes an exclusive, non-blocking advisory lock on the
+// journal file: two live coordinators pointed at the same journal would
+// interleave appends and truncate each other, so the second one must
+// fail at startup instead. The lock is released automatically when the
+// file descriptor closes — including when the process is SIGKILLed,
+// which is exactly the restart scenario the journal exists for.
+func lockJournal(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -19,6 +19,24 @@
 // assertion — under the repo's determinism contract two workers that run
 // the same shard must produce identical bytes, so a mismatch is a fatal
 // contract violation, not something to paper over.
+//
+// Every request is scoped to one coordinator instance by a per-run
+// random token (Job.Run): lease requests, renewals and result lines
+// that echo a different token are rejected with 410, so a worker that
+// outlived a coordinator restart can never have stale payloads accepted
+// under the new run's identically-numbered leases — it re-fetches the
+// job and rejoins when the restarted coordinator serves the same run.
+// Result lines are additionally scoped to the span their lease actually
+// granted; a lease id is not a license to post arbitrary in-range
+// shards.
+//
+// Chunk size and lease re-issue timing are adaptive (see Config), and a
+// coordinator given a -journal directory appends every accepted shard
+// result to an on-disk journal it replays after a restart, serving only
+// the remainder. All of that moves scheduling and wall-clock only:
+// shard values stay a pure function of (params, shard index), so record
+// signatures are byte-identical with or without faults, restarts, or
+// adaptation.
 package remote
 
 import (
@@ -41,6 +59,14 @@ const workerEnvVar = "SPECINTERFERENCE_REMOTE_WORKER"
 type Job struct {
 	Experiment string         `json:"experiment"`
 	Params     results.Params `json:"params"`
+	// Run is the coordinator's per-run random token. Every lease
+	// request, renewal and result line must echo it; a mismatch is
+	// rejected with 410. Lease ids alone (L1, L2, ...) are predictable
+	// and collide across runs, so without the token a worker left
+	// talking to a restarted coordinator on the same port could have
+	// stale payloads accepted under the new run's identically-named
+	// leases.
+	Run string `json:"run"`
 	// Shards is the total shard count ([0, Shards) across all leases).
 	Shards int `json:"shards"`
 	// LeaseMillis is the lease TTL workers must renew within.
@@ -48,9 +74,12 @@ type Job struct {
 }
 
 // LeaseRequest asks for the next chunk; Worker is a diagnostic identity
-// (host-pid), never a correctness input.
+// (host-pid) the scheduler also keys idempotent re-polls and renew
+// cadence on — a scheduling input, never a correctness input. Run must
+// echo the job's run token.
 type LeaseRequest struct {
 	Worker string `json:"worker"`
+	Run    string `json:"run"`
 }
 
 // Lease is the coordinator's answer to a lease request: a chunk grant,
@@ -58,6 +87,8 @@ type LeaseRequest struct {
 type Lease struct {
 	// ID names the grant; result lines and renewals must echo it.
 	ID string `json:"id,omitempty"`
+	// Run echoes the coordinator's run token on every answer.
+	Run string `json:"run,omitempty"`
 	// Start and End bound the leased chunk: shards [Start, End).
 	Start int `json:"start"`
 	End   int `json:"end"`
@@ -74,9 +105,11 @@ type Lease struct {
 	Done bool `json:"done,omitempty"`
 }
 
-// RenewRequest extends a held lease's TTL.
+// RenewRequest extends a held lease's TTL; Run must echo the job's run
+// token.
 type RenewRequest struct {
-	ID string `json:"id"`
+	ID  string `json:"id"`
+	Run string `json:"run"`
 }
 
 // Renewal acknowledges a renew with the fresh TTL.
@@ -89,10 +122,15 @@ type Renewal struct {
 // lease it was produced under. The /results body is a stream of these,
 // one JSON document per line.
 type ResultLine struct {
+	// Run must echo the job's run token; lines from another run — a
+	// worker that outlived a coordinator restart — are rejected with 410
+	// instead of being mistaken for this run's identically-named leases.
+	Run string `json:"run"`
 	// Lease echoes the grant the shard ran under. Results from expired
 	// leases are still accepted when valid — re-issuing a lease makes the
 	// work redundant, never wrong — but a line must name a lease this
-	// coordinator actually issued.
+	// coordinator actually issued, and its shard must fall inside that
+	// lease's granted span.
 	Lease string `json:"lease"`
 	experiment.ShardLine
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -40,8 +41,17 @@ type Remote struct {
 	Workers int
 	// Lease is the lease TTL (0 = DefaultLease).
 	Lease time.Duration
-	// Chunk is the shards-per-lease granularity (0 = automatic).
+	// Chunk is the shards-per-lease granularity (0 = adaptive: grants
+	// start at n/32 and track observed per-shard cost; see Config.Chunk).
 	Chunk int
+	// Journal, when non-empty, is a directory holding one append-only
+	// shard-result journal per experiment (<dir>/<experiment>.jsonl, the
+	// results-store idiom). Accepted results are appended as they
+	// arrive; a restarted coordinator pointed at the same directory
+	// replays the journal and serves only the remainder. A journal from
+	// a different run shape (experiment, params, shard count) is a hard
+	// startup error.
+	Journal string
 	// Stderr receives coordinator notices and prefixed local-worker
 	// diagnostics (nil = os.Stderr).
 	Stderr io.Writer
@@ -54,7 +64,7 @@ func init() {
 	experiment.RegisterBackendFactory("remote", func(o experiment.BackendOptions) (experiment.Backend, error) {
 		return Remote{
 			Listen: o.Listen, Procs: o.Procs, Workers: o.Workers,
-			Lease: o.Lease, Chunk: o.Chunk,
+			Lease: o.Lease, Chunk: o.Chunk, Journal: o.Journal,
 		}, nil
 	})
 	experiment.RegisterWorkerMode(RunWorkerIfRequested)
@@ -72,9 +82,21 @@ func (b Remote) Run(ctx context.Context, spec *experiment.Spec, p results.Params
 	if stderr == nil {
 		stderr = os.Stderr
 	}
-	coord := NewCoordinator(spec, p, n, Config{
-		Chunk: b.Chunk, Lease: b.Lease, OnShardDone: done,
-	})
+	cfg := Config{Chunk: b.Chunk, Lease: b.Lease, OnShardDone: done}
+	if b.Journal != "" {
+		if err := os.MkdirAll(b.Journal, 0o755); err != nil {
+			return nil, fmt.Errorf("remote: journal directory %s: %w", b.Journal, err)
+		}
+		cfg.Journal = filepath.Join(b.Journal, spec.Name+".jsonl")
+	}
+	coord, err := NewCoordinator(spec, p, n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	if r := coord.Replayed(); r > 0 {
+		fmt.Fprintf(stderr, "remote: journal %s: resumed: %d of %d shards already complete\n", cfg.Journal, r, n)
+	}
 
 	addr := b.Listen
 	if addr == "" {

@@ -47,10 +47,29 @@ func testSpec(t *testing.T) *experiment.Spec {
 // with its base URL.
 func startCoordinator(t *testing.T, spec *experiment.Spec, p results.Params, n int, cfg Config) (*Coordinator, string) {
 	t.Helper()
-	coord := NewCoordinator(spec, p, n, cfg)
+	coord, err := NewCoordinator(spec, p, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
 	srv := httptest.NewServer(coord.Handler())
 	t.Cleanup(srv.Close)
 	return coord, srv.URL
+}
+
+// runToken fetches the coordinator's per-run token from /job.
+func runToken(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return job.Run
 }
 
 // runGoroutineWorkers drains a coordinator with n in-process RunWorker
@@ -168,7 +187,7 @@ func postBytes(t *testing.T, url string, body []byte, out any) int {
 func grantLease(t *testing.T, url, worker string) Lease {
 	t.Helper()
 	var l Lease
-	if status := postDoc(t, url+"/lease", LeaseRequest{Worker: worker}, &l); status != http.StatusOK {
+	if status := postDoc(t, url+"/lease", LeaseRequest{Worker: worker, Run: runToken(t, url)}, &l); status != http.StatusOK {
 		t.Fatalf("lease: status %d", status)
 	}
 	return l
@@ -218,7 +237,7 @@ func TestLeaseExpiryReissue(t *testing.T) {
 	}
 	// The doomed worker completes shard 1, then stalls past its TTL.
 	var ack ResultAck
-	if status := postDoc(t, url+"/results", ResultLine{Lease: first.ID, ShardLine: experiment.ShardLine{Shard: 1, Value: encodeValue(t, p, 1)}}, &ack); status != http.StatusOK {
+	if status := postDoc(t, url+"/results", ResultLine{Run: first.Run, Lease: first.ID, ShardLine: experiment.ShardLine{Shard: 1, Value: encodeValue(t, p, 1)}}, &ack); status != http.StatusOK {
 		t.Fatalf("result: status %d", status)
 	}
 
@@ -228,21 +247,18 @@ func TestLeaseExpiryReissue(t *testing.T) {
 	}
 	clock.Advance(2 * time.Second)
 	// After expiry the unfinished shards are re-issued as contiguous
-	// sub-spans around the completed shard 1: [0,1) then [2,4).
-	a := grantLease(t, url, "vulture")
-	b := grantLease(t, url, "vulture")
+	// sub-spans around the completed shard 1: [0,1) then [2,4). Two
+	// distinct workers ask — a re-poll from one worker would
+	// idempotently return its own unstarted grant.
+	a := grantLease(t, url, "vulture-a")
+	b := grantLease(t, url, "vulture-b")
 	if a.Start != 0 || a.End != 1 || b.Start != 2 || b.End != 4 {
 		t.Fatalf("re-issued spans [%d,%d) [%d,%d), want [0,1) [2,4)", a.Start, a.End, b.Start, b.End)
 	}
 
 	// Renewing the expired lease must fail.
-	resp, err := http.Post(url+"/renew", "application/json", strings.NewReader(`{"id":"`+first.ID+`"}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusGone {
-		t.Errorf("renew of expired lease: status %d, want %d", resp.StatusCode, http.StatusGone)
+	if status := postDoc(t, url+"/renew", RenewRequest{ID: first.ID, Run: first.Run}, nil); status != http.StatusGone {
+		t.Errorf("renew of expired lease: status %d, want %d", status, http.StatusGone)
 	}
 
 	// Completing the re-issued shards finishes the run; the late result
@@ -252,7 +268,7 @@ func TestLeaseExpiryReissue(t *testing.T) {
 		if shard >= 2 {
 			id = b.ID
 		}
-		if status := postDoc(t, url+"/results", ResultLine{Lease: id, ShardLine: experiment.ShardLine{Shard: shard, Value: encodeValue(t, p, shard)}}, &ack); status != http.StatusOK {
+		if status := postDoc(t, url+"/results", ResultLine{Run: first.Run, Lease: id, ShardLine: experiment.ShardLine{Shard: shard, Value: encodeValue(t, p, shard)}}, &ack); status != http.StatusOK {
 			t.Fatalf("shard %d: status %d", shard, status)
 		}
 	}
@@ -281,7 +297,7 @@ func TestRenewExtendsLease(t *testing.T) {
 	l := grantLease(t, url, "steady")
 	clock.Advance(900 * time.Millisecond)
 	var renewed Renewal
-	if status := postDoc(t, url+"/renew", RenewRequest{ID: l.ID}, &renewed); status != http.StatusOK {
+	if status := postDoc(t, url+"/renew", RenewRequest{ID: l.ID, Run: l.Run}, &renewed); status != http.StatusOK {
 		t.Fatalf("renew: status %d", status)
 	}
 	clock.Advance(900 * time.Millisecond)
@@ -305,19 +321,19 @@ func TestResultRejection(t *testing.T) {
 			return []byte("{this is not json\n")
 		}, http.StatusBadRequest},
 		{"unknown-lease", func(t *testing.T, l Lease) []byte {
-			raw, _ := json.Marshal(ResultLine{Lease: "L999", ShardLine: experiment.ShardLine{Shard: 0, Value: encodeValue(t, p, 0)}})
+			raw, _ := json.Marshal(ResultLine{Run: l.Run, Lease: "L999", ShardLine: experiment.ShardLine{Shard: 0, Value: encodeValue(t, p, 0)}})
 			return append(raw, '\n')
 		}, http.StatusGone},
 		{"out-of-range-shard", func(t *testing.T, l Lease) []byte {
-			raw, _ := json.Marshal(ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 99, Value: encodeValue(t, p, 0)}})
+			raw, _ := json.Marshal(ResultLine{Run: l.Run, Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 99, Value: encodeValue(t, p, 0)}})
 			return append(raw, '\n')
 		}, http.StatusBadRequest},
 		{"corrupt-payload", func(t *testing.T, l Lease) []byte {
-			raw, _ := json.Marshal(ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Value: json.RawMessage(`"banana"`)}})
+			raw, _ := json.Marshal(ResultLine{Run: l.Run, Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Value: json.RawMessage(`"banana"`)}})
 			return append(raw, '\n')
 		}, http.StatusBadRequest},
 		{"empty-value", func(t *testing.T, l Lease) []byte {
-			raw, _ := json.Marshal(ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0}})
+			raw, _ := json.Marshal(ResultLine{Run: l.Run, Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0}})
 			return append(raw, '\n')
 		}, http.StatusBadRequest},
 	} {
@@ -347,7 +363,7 @@ func TestDuplicateResults(t *testing.T) {
 	coord, url := startCoordinator(t, testSpec(t), p, 2, Config{Chunk: 2})
 	l := grantLease(t, url, "dup")
 
-	line := ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Value: encodeValue(t, p, 0)}}
+	line := ResultLine{Run: l.Run, Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Value: encodeValue(t, p, 0)}}
 	var ack ResultAck
 	if status := postDoc(t, url+"/results", line, &ack); status != http.StatusOK {
 		t.Fatalf("first post: status %d", status)
@@ -356,7 +372,7 @@ func TestDuplicateResults(t *testing.T) {
 		t.Fatalf("equal duplicate: status %d ack %+v, want 200/accepted", status, ack)
 	}
 
-	bad := ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Value: json.RawMessage("12345")}}
+	bad := ResultLine{Run: l.Run, Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Value: json.RawMessage("12345")}}
 	if status := postDoc(t, url+"/results", bad, nil); status != http.StatusConflict {
 		t.Fatalf("mismatched duplicate: status %d, want %d", status, http.StatusConflict)
 	}
@@ -380,7 +396,7 @@ func TestStragglerAfterCompletion(t *testing.T) {
 	l := grantLease(t, url, "fast")
 	for shard := 0; shard < 2; shard++ {
 		var ack ResultAck
-		if status := postDoc(t, url+"/results", ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: shard, Value: encodeValue(t, p, shard)}}, &ack); status != http.StatusOK {
+		if status := postDoc(t, url+"/results", ResultLine{Run: l.Run, Lease: l.ID, ShardLine: experiment.ShardLine{Shard: shard, Value: encodeValue(t, p, shard)}}, &ack); status != http.StatusOK {
 			t.Fatalf("shard %d: status %d", shard, status)
 		}
 	}
@@ -392,13 +408,13 @@ func TestStragglerAfterCompletion(t *testing.T) {
 
 	// A forged duplicate after completion: rejected with 409, run stays
 	// successful.
-	forged := ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Value: json.RawMessage("999")}}
+	forged := ResultLine{Run: l.Run, Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Value: json.RawMessage("999")}}
 	if status := postDoc(t, url+"/results", forged, nil); status != http.StatusConflict {
 		t.Errorf("post-completion forged duplicate: status %d, want %d", status, http.StatusConflict)
 	}
 	// A late error line after completion: acknowledged, run stays
 	// successful.
-	late := ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 1, Err: "late boom"}}
+	late := ResultLine{Run: l.Run, Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 1, Err: "late boom"}}
 	if status := postDoc(t, url+"/results", late, nil); status != http.StatusOK {
 		t.Errorf("post-completion error line: status %d, want 200", status)
 	}
@@ -413,7 +429,7 @@ func TestShardErrorFailsRun(t *testing.T) {
 	p := results.Params{Trials: 2}
 	coord, url := startCoordinator(t, testSpec(t), p, 2, Config{Chunk: 1})
 	l := grantLease(t, url, "broken")
-	line := ResultLine{Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Err: "shard exploded"}}
+	line := ResultLine{Run: l.Run, Lease: l.ID, ShardLine: experiment.ShardLine{Shard: 0, Err: "shard exploded"}}
 	if status := postDoc(t, url+"/results", line, nil); status != http.StatusOK {
 		t.Fatalf("error line: status %d", status)
 	}

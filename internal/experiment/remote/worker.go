@@ -34,8 +34,12 @@ var workerSeq atomic.Int64
 // completes, renew the lease at a third of its TTL while the chunk is in
 // flight. A lost lease (the coordinator re-issued it after a stall)
 // cancels the chunk and moves on; the coordinator's byte-equality dedupe
-// makes any straggler results it already posted harmless. Returns nil
-// when the coordinator reports the job done.
+// makes any straggler results it already posted harmless. A 410 on the
+// lease poll means a different run token answers at this address — a
+// restarted coordinator (with -journal, the same run resumed under a
+// fresh token): the worker re-fetches the job and keeps serving when it
+// is the same experiment at the same params. Returns nil when the
+// coordinator reports the job done.
 func RunWorker(ctx context.Context, connect string, workers int, logw io.Writer) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -64,21 +68,40 @@ func RunWorker(ctx context.Context, connect string, workers int, logw io.Writer)
 	if err != nil {
 		return err
 	}
-	lease := time.Duration(job.LeaseMillis) * time.Millisecond
-	if lease <= 0 {
-		lease = DefaultLease
-	}
+	lease := leaseTTL(job)
 	hostname, _ := os.Hostname()
 	worker := fmt.Sprintf("%s-%d-%d", hostname, os.Getpid(), workerSeq.Add(1))
 	fmt.Fprintf(logw, "remote-worker %s: serving %s (%d shards) from %s\n", worker, job.Experiment, job.Shards, base)
 
+	resyncs := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		grant, err := pollLease(ctx, client, base, worker)
+		grant, err := pollLease(ctx, client, base, worker, job.Run)
 		if err != nil {
-			if isTransportErr(err) && ctx.Err() == nil {
+			switch {
+			case isGone(err) && ctx.Err() == nil:
+				// A different run token answers here now: the coordinator
+				// restarted. Re-sync and keep serving when it is the same
+				// run shape; prepared state stays valid because params are
+				// identical.
+				if resyncs++; resyncs > 5 {
+					return fmt.Errorf("remote: %s keeps rejecting this worker's run token: %w", base, err)
+				}
+				nj, jerr := fetchJob(ctx, client, base)
+				if jerr != nil {
+					return jerr
+				}
+				if nj.Experiment != job.Experiment || paramsSignature(nj.Params) != paramsSignature(job.Params) || nj.Shards != job.Shards {
+					return fmt.Errorf("remote: coordinator at %s now serves a different run (%s, %d shards); this worker was serving %s (%d shards)",
+						base, nj.Experiment, nj.Shards, job.Experiment, job.Shards)
+				}
+				fmt.Fprintf(logw, "remote-worker %s: coordinator restarted; rejoining as run %s\n", worker, nj.Run)
+				job = nj
+				lease = leaseTTL(job)
+				continue
+			case isTransportErr(err) && ctx.Err() == nil:
 				// The coordinator is ephemeral — it serves one run and
 				// exits. Gone mid-poll means the run completed (or was
 				// aborted) and there is nothing left to serve.
@@ -87,6 +110,7 @@ func RunWorker(ctx context.Context, connect string, workers int, logw io.Writer)
 			}
 			return err
 		}
+		resyncs = 0
 		switch {
 		case grant.Done:
 			return nil
@@ -132,7 +156,7 @@ func serveChunk(ctx context.Context, client *http.Client, base string, spec *exp
 			select {
 			case <-t.C:
 				var renewed Renewal
-				err := postJSON(chunkCtx, client, base+"/renew", RenewRequest{ID: grant.ID}, &renewed)
+				err := postJSON(chunkCtx, client, base+"/renew", RenewRequest{ID: grant.ID, Run: job.Run}, &renewed)
 				switch {
 				case err == nil:
 					transportFails = 0
@@ -157,7 +181,7 @@ func serveChunk(ctx context.Context, client *http.Client, base string, spec *exp
 	runErr := experiment.RunShardLines(chunkCtx, spec, state, job.Params, grant.Start, grant.End, workers,
 		func(sl experiment.ShardLine) error {
 			var ack ResultAck
-			if err := postLine(chunkCtx, client, base+"/results", ResultLine{Lease: grant.ID, ShardLine: sl}, &ack); err != nil {
+			if err := postLine(chunkCtx, client, base+"/results", ResultLine{Run: job.Run, Lease: grant.ID, ShardLine: sl}, &ack); err != nil {
 				transportErr = err
 				return err
 			}
@@ -172,6 +196,21 @@ func serveChunk(ctx context.Context, client *http.Client, base string, spec *exp
 		// something else; the re-issued chunk covers whatever was lost.
 		return nil
 	case transportErr != nil:
+		if isGone(transportErr) {
+			// The lease — or the whole run token — went stale mid-stream
+			// (a re-issue or a coordinator restart). Abandon the chunk;
+			// the lease loop re-syncs, and results already accepted stay
+			// accepted.
+			return nil
+		}
+		if isTransportErr(transportErr) && ctx.Err() == nil {
+			// The coordinator became unreachable mid-stream — killed, or
+			// finished and gone. Abandon the chunk and let the lease loop
+			// classify: a coordinator that stays gone is a clean exit, a
+			// restarted one answers the next poll with 410 and the worker
+			// rejoins its resumed run.
+			return nil
+		}
 		return fmt.Errorf("remote: stream results for lease %s: %w", grant.ID, transportErr)
 	case runErr != nil && ctx.Err() != nil:
 		return ctx.Err()
@@ -185,8 +224,12 @@ func serveChunk(ctx context.Context, client *http.Client, base string, spec *exp
 // pollLease asks for the next chunk, absorbing brief transport blips
 // (a few retries) so one dropped packet doesn't kill a worker; a
 // persistently unreachable coordinator surfaces as the final transport
-// error for the caller to classify.
-func pollLease(ctx context.Context, client *http.Client, base, worker string) (Lease, error) {
+// error for the caller to classify. Retrying is safe even when the
+// first request's response was lost after the grant was made: lease
+// acquisition is idempotent per worker name — re-polling while holding
+// an unexpired, unstarted grant returns the same grant instead of
+// orphaning the first chunk under a dead lease for a full TTL.
+func pollLease(ctx context.Context, client *http.Client, base, worker, run string) (Lease, error) {
 	var grant Lease
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
@@ -197,12 +240,22 @@ func pollLease(ctx context.Context, client *http.Client, base, worker string) (L
 				return Lease{}, ctx.Err()
 			}
 		}
-		err = postJSON(ctx, client, base+"/lease", LeaseRequest{Worker: worker}, &grant)
+		err = postJSON(ctx, client, base+"/lease", LeaseRequest{Worker: worker, Run: run}, &grant)
 		if err == nil || !isTransportErr(err) {
 			return grant, err
 		}
 	}
 	return Lease{}, err
+}
+
+// leaseTTL is the renewal deadline a job advertises (falling back to
+// the default when a coordinator omits it).
+func leaseTTL(job Job) time.Duration {
+	lease := time.Duration(job.LeaseMillis) * time.Millisecond
+	if lease <= 0 {
+		lease = DefaultLease
+	}
+	return lease
 }
 
 // isTransportErr reports whether err is a network-level failure (the
@@ -211,6 +264,22 @@ func pollLease(ctx context.Context, client *http.Client, base, worker string) (L
 func isTransportErr(err error) bool {
 	var ue *url.Error
 	return errors.As(err, &ue)
+}
+
+// statusError is a protocol rejection: the coordinator was reachable
+// and answered with a non-2xx status.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// isGone reports whether err is a 410 rejection — an expired lease, or
+// a run-token mismatch from a restarted coordinator.
+func isGone(err error) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.status == http.StatusGone
 }
 
 // fetchJob GETs /job, retrying while the coordinator is still starting.
@@ -274,7 +343,10 @@ func post(ctx context.Context, client *http.Client, url string, body []byte, out
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(raw))
+		return &statusError{
+			status: resp.StatusCode,
+			msg:    fmt.Sprintf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(raw)),
+		}
 	}
 	if out != nil {
 		if err := json.Unmarshal(raw, out); err != nil {

@@ -320,7 +320,9 @@ type (
 	// coordinator leasing shard chunks to distributed workers.
 	ExperimentBackend = experiment.Backend
 	// ExperimentBackendOptions carries every backend-construction knob
-	// the CLIs expose (procs, workers, chunk, listen address, lease TTL).
+	// the CLIs expose (procs, workers, chunk, listen address, lease TTL,
+	// and the remote coordinator's resumable shard-result journal
+	// directory).
 	ExperimentBackendOptions = experiment.BackendOptions
 )
 
@@ -342,10 +344,15 @@ func SubprocessBackend(procs, workers int) ExperimentBackend {
 // ephemeral port) that leases small shard chunks to workers: procs > 0
 // spawns that many local -remote-worker processes (the one-machine
 // work-stealing configuration), procs = 0 waits for external workers
-// started by hand against the printed URL. Expired leases are re-issued,
-// so worker crashes and stalls cost wall-clock, never correctness;
-// duplicate results are deduplicated by shard index with a byte-equality
-// assertion.
+// started by hand against the printed URL. Expired leases are re-issued
+// (adaptively — chunk sizes track observed shard cost and re-issue
+// deadlines track each worker's renew cadence), so worker crashes and
+// stalls cost wall-clock, never correctness; duplicate results are
+// deduplicated by shard index with a byte-equality assertion, and every
+// request is fenced by a per-run token. For a coordinator that survives
+// its own crashes, construct the backend through
+// NewExperimentBackendOptions with a Journal directory: accepted shard
+// results are journaled and a restarted coordinator resumes from them.
 func RemoteBackend(listen string, procs, workers int) ExperimentBackend {
 	return remote.Remote{Listen: listen, Procs: procs, Workers: workers}
 }
