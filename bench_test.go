@@ -3,6 +3,15 @@
 // Shape metrics (separations, error rates, slowdowns) are reported through
 // b.ReportMetric so `go test -bench` output doubles as the experiment log;
 // EXPERIMENTS.md records the paper-versus-measured comparison.
+//
+// Every benchmark here feeds the committed perf trajectory (BENCH_*.json,
+// see internal/bench): seeds are fixed constants — never derived from the
+// iteration counter — so reported shape metrics are identical at any
+// -benchtime, setup runs before b.ResetTimer so timings cover only the
+// steady-state work, and every benchmark calls b.ReportAllocs so allocs/op
+// is gateable. Shape metrics are computed from a fixed-seed setup run (or
+// from work that is bit-identical every iteration), never from "whichever
+// iteration happened to run last".
 package specinterference
 
 import (
@@ -18,23 +27,35 @@ import (
 	"specinterference/internal/workload"
 )
 
+// benchSeed is the fixed seed every trajectory benchmark uses. It matches
+// the experiment defaults (cache.Config.Seed = 1) so benchmark runs
+// exercise exactly the artifact-generating paths.
+const benchSeed uint64 = 1
+
 // BenchmarkTable1Matrix regenerates the full vulnerability matrix (Table 1)
-// and reports how many cells agree with the paper.
+// and reports how many cells agree with the paper. The matrix is seedless,
+// so every iteration produces identical cells; the match metrics come from
+// a setup run and are independent of b.N.
 func BenchmarkTable1Matrix(b *testing.B) {
+	names := schemes.Names()
 	expected := core.ExpectedTable1()
+	cells, err := core.VulnerabilityMatrix(names)
+	if err != nil {
+		b.Fatal(err)
+	}
 	match, total := 0, 0
-	for i := 0; i < b.N; i++ {
-		cells, err := core.VulnerabilityMatrix(schemes.Names())
-		if err != nil {
-			b.Fatal(err)
+	for _, c := range cells {
+		total++
+		k := c.Gadget.String() + "|" + c.Ordering.String()
+		if expected[k][c.Scheme] == c.Vulnerable {
+			match++
 		}
-		match, total = 0, 0
-		for _, c := range cells {
-			total++
-			k := c.Gadget.String() + "|" + c.Ordering.String()
-			if expected[k][c.Scheme] == c.Vulnerable {
-				match++
-			}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.VulnerabilityMatrix(names); err != nil {
+			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(match), "cells-matching-paper")
@@ -42,117 +63,192 @@ func BenchmarkTable1Matrix(b *testing.B) {
 }
 
 // BenchmarkFigure7InterferenceHistogram regenerates the contention
-// histogram and reports the separation (paper: ~80 cycles) and overlap.
+// histogram and reports the separation (paper: ~80 cycles) and overlap at
+// the fixed experiment seed.
 func BenchmarkFigure7InterferenceHistogram(b *testing.B) {
-	var sep, overlap float64
+	r, err := core.Figure7(40, 30, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := core.Figure7(40, 30, uint64(i+1))
+		if _, err := core.Figure7(40, 30, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Separation, "separation-cycles")
+	b.ReportMetric(r.Overlap, "overlap-coeff")
+}
+
+// pocAccuracy decodes one 0-bit and one 1-bit at fixed seeds and returns
+// the fraction decoded correctly — a deterministic shape metric.
+func pocAccuracy(b *testing.B, poc *core.PoC) float64 {
+	b.Helper()
+	good := 0
+	for bit := 0; bit <= 1; bit++ {
+		out, err := poc.RunBit(bit, benchSeed+uint64(bit))
 		if err != nil {
 			b.Fatal(err)
 		}
-		sep, overlap = r.Separation, r.Overlap
+		if out.OK && out.Decoded == bit {
+			good++
+		}
 	}
-	b.ReportMetric(sep, "separation-cycles")
-	b.ReportMetric(overlap, "overlap-coeff")
+	return float64(good) / 2
+}
+
+// benchPoCBit is the shared body of the PoC-bit benchmarks: accuracy and
+// trial cycle count come from fixed-seed setup runs; the timed loop
+// alternates the two fixed-seed trials so the work is iteration-invariant.
+func benchPoCBit(b *testing.B, poc *core.PoC) {
+	b.Helper()
+	acc := pocAccuracy(b, poc)
+	out, err := poc.RunBit(1, benchSeed+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bit := i % 2
+		if _, err := poc.RunBit(bit, benchSeed+uint64(bit)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(acc, "decode-accuracy")
+	b.ReportMetric(float64(out.Cycles), "sim-cycles/bit")
 }
 
 // BenchmarkFigure8QLRUReceiver exercises the §4.2.2 replacement-state
 // receiver protocol end to end (one D-Cache PoC bit per iteration).
 func BenchmarkFigure8QLRUReceiver(b *testing.B) {
-	poc := core.NewDCachePoC("dom", 0)
-	ok := 0
-	for i := 0; i < b.N; i++ {
-		out, err := poc.RunBit(i%2, uint64(i+1))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if out.OK && out.Decoded == i%2 {
-			ok++
-		}
-	}
-	b.ReportMetric(float64(ok)/float64(b.N), "decode-accuracy")
+	benchPoCBit(b, core.NewDCachePoC("dom", 0))
 }
 
 // BenchmarkFigure9DCachePoCBit times one full Figure 9 trial (prime →
 // victim → probe) against Delay-on-Miss.
 func BenchmarkFigure9DCachePoCBit(b *testing.B) {
-	poc := core.NewDCachePoC("dom", 0)
-	var cycles int64
-	for i := 0; i < b.N; i++ {
-		out, err := poc.RunBit(i%2, uint64(i+1))
-		if err != nil {
-			b.Fatal(err)
-		}
-		cycles = out.Cycles
-	}
-	b.ReportMetric(float64(cycles), "sim-cycles/bit")
+	benchPoCBit(b, core.NewDCachePoC("dom", 0))
 }
 
 // BenchmarkFigure10ICachePoCBit times one §4.3 I-Cache trial against
 // InvisiSpec.
 func BenchmarkFigure10ICachePoCBit(b *testing.B) {
-	poc := core.NewICachePoC("invisispec-spectre", 0)
-	var cycles int64
+	benchPoCBit(b, core.NewICachePoC("invisispec-spectre", 0))
+}
+
+// benchChannel measures one point of the Figure 11 error-versus-rate curve
+// at the fixed experiment seed base.
+func benchChannel(b *testing.B, poc *core.PoC) {
+	b.Helper()
+	cfg := channel.Config{PoC: poc, Reps: 1, Bits: 16, SeedBase: benchSeed}
+	r, err := channel.Measure(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := poc.RunBit(i%2, uint64(i+1))
-		if err != nil {
+		if _, err := channel.Measure(cfg); err != nil {
 			b.Fatal(err)
 		}
-		cycles = out.Cycles
 	}
-	b.ReportMetric(float64(cycles), "sim-cycles/bit")
+	b.ReportMetric(r.ErrorRate, "error-rate")
+	b.ReportMetric(r.Bps, "bps-at-3.6GHz")
 }
 
 // BenchmarkFigure11aDCacheChannel measures one point of the D-Cache
 // error-versus-rate curve at the calibrated noise operating point.
 func BenchmarkFigure11aDCacheChannel(b *testing.B) {
-	var r channel.Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		r, err = channel.Measure(channel.Config{
-			PoC: channel.DCacheFigure11(), Reps: 1, Bits: 16,
-			SeedBase: uint64(i + 1),
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(r.ErrorRate, "error-rate")
-	b.ReportMetric(r.Bps, "bps-at-3.6GHz")
+	benchChannel(b, channel.DCacheFigure11())
 }
 
 // BenchmarkFigure11bICacheChannel is the I-Cache counterpart.
 func BenchmarkFigure11bICacheChannel(b *testing.B) {
-	var r channel.Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		r, err = channel.Measure(channel.Config{
-			PoC: channel.ICacheFigure11(), Reps: 1, Bits: 16,
-			SeedBase: uint64(i + 1),
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(r.ErrorRate, "error-rate")
-	b.ReportMetric(r.Bps, "bps-at-3.6GHz")
+	benchChannel(b, channel.ICacheFigure11())
 }
 
 // BenchmarkFigure12DefenseOverhead regenerates the fence-defense slowdown
-// table (paper: 1.58x Spectre, 5.38x Futuristic on SPEC CPU2017).
+// table (paper: 1.58x Spectre, 5.38x Futuristic on SPEC CPU2017). The
+// sweep is seedless and deterministic, so the slowdown metrics come from a
+// setup run.
 func BenchmarkFigure12DefenseOverhead(b *testing.B) {
-	var res *workload.EvalResult
+	cfg := workload.DefaultEvalConfig()
+	cfg.Iters = 500
+	res, err := workload.Evaluate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cfg := workload.DefaultEvalConfig()
-		cfg.Iters = 500
-		var err error
-		res, err = workload.Evaluate(cfg)
-		if err != nil {
+		if _, err := workload.Evaluate(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(res.Mean["fence-spectre"], "spectre-mean-slowdown")
 	b.ReportMetric(res.Mean["fence-futuristic"], "futuristic-mean-slowdown")
+}
+
+// --- Steady-state trial loop (the alloc-free hot path) ----------------------
+
+// BenchmarkTrialSteadyStateFigure7 times one post-warmup Figure 7 shard
+// trial — the unit of work every campaign cell pays. The warmup call primes
+// the per-worker TrialState pool; the timed region is the steady state the
+// allocs/op gate in BENCH_trial_steady_state_figure7.json pins at zero.
+func BenchmarkTrialSteadyStateFigure7(b *testing.B) {
+	lat, err := core.Figure7Shard(40, 30, benchSeed, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Figure7Shard(40, 30, benchSeed, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lat, "target-latency-cycles")
+}
+
+// BenchmarkTrialSteadyStateMatrixCell times one post-warmup Table 1 matrix
+// cell classification (2–4 trials per cell depending on the ordering's
+// calibration needs).
+func BenchmarkTrialSteadyStateMatrixCell(b *testing.B) {
+	names := schemes.Names()
+	cell, err := core.MatrixShard(names, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MatrixShard(names, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	vuln := 0.0
+	if cell.Vulnerable {
+		vuln = 1
+	}
+	b.ReportMetric(vuln, "cell-vulnerable")
+}
+
+// BenchmarkTrialSteadyStatePoCBit times one post-warmup D-Cache PoC bit —
+// the unit of work behind the channel shards.
+func BenchmarkTrialSteadyStatePoCBit(b *testing.B) {
+	poc := core.NewDCachePoC("dom", 0)
+	if _, err := poc.RunBit(1, benchSeed); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := poc.RunBit(1, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Ablations (DESIGN.md §5) -----------------------------------------------
@@ -182,10 +278,13 @@ func npeuDelay(b *testing.B, tweak func(*uarch.Config)) float64 {
 // BenchmarkAblationIssuePolicy compares the interference delay under
 // oldest-first (the cascade's enabler) and youngest-first issue.
 func BenchmarkAblationIssuePolicy(b *testing.B) {
-	var oldest, youngest float64
+	oldest := npeuDelay(b, nil)
+	youngest := npeuDelay(b, func(c *uarch.Config) { c.YoungestFirstIssue = true })
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		oldest = npeuDelay(b, nil)
-		youngest = npeuDelay(b, func(c *uarch.Config) { c.YoungestFirstIssue = true })
+		npeuDelay(b, nil)
+		npeuDelay(b, func(c *uarch.Config) { c.YoungestFirstIssue = true })
 	}
 	b.ReportMetric(oldest, "delay-oldest-first")
 	b.ReportMetric(youngest, "delay-youngest-first")
@@ -194,10 +293,13 @@ func BenchmarkAblationIssuePolicy(b *testing.B) {
 // BenchmarkAblationCDBWidth measures the interference delay with a
 // single-slot versus four-slot common data bus (Figure 1's example).
 func BenchmarkAblationCDBWidth(b *testing.B) {
-	var w1, w4 float64
+	w1 := npeuDelay(b, func(c *uarch.Config) { c.CDBWidth = 1 })
+	w4 := npeuDelay(b, func(c *uarch.Config) { c.CDBWidth = 4 })
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w1 = npeuDelay(b, func(c *uarch.Config) { c.CDBWidth = 1 })
-		w4 = npeuDelay(b, func(c *uarch.Config) { c.CDBWidth = 4 })
+		npeuDelay(b, func(c *uarch.Config) { c.CDBWidth = 1 })
+		npeuDelay(b, func(c *uarch.Config) { c.CDBWidth = 4 })
 	}
 	b.ReportMetric(w1, "delay-cdb1")
 	b.ReportMetric(w4, "delay-cdb4")
@@ -227,9 +329,13 @@ func BenchmarkAblationMSHRCount(b *testing.B) {
 		}
 		return float64(t[1] - t[0])
 	}
-	var d2, d4, d8 float64
+	d2, d4, d8 := delay(2), delay(4), delay(8)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d2, d4, d8 = delay(2), delay(4), delay(8)
+		delay(2)
+		delay(4)
+		delay(8)
 	}
 	b.ReportMetric(d2, "delay-2mshr")
 	b.ReportMetric(d4, "delay-4mshr")
@@ -246,7 +352,7 @@ func BenchmarkAblationReplacement(b *testing.B) {
 		good := 0
 		const trials = 10
 		for i := 0; i < trials; i++ {
-			out, err := poc.RunBit(i%2, uint64(i+1))
+			out, err := poc.RunBit(i%2, benchSeed+uint64(i))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -256,12 +362,17 @@ func BenchmarkAblationReplacement(b *testing.B) {
 		}
 		return float64(good) / trials
 	}
-	var qlru, lru, srrip, random float64
+	qlru := accuracy(cache.PolicyQLRU)
+	lru := accuracy(cache.PolicyLRU)
+	srrip := accuracy(cache.PolicySRRIP)
+	random := accuracy(cache.PolicyRandom)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		qlru = accuracy(cache.PolicyQLRU)
-		lru = accuracy(cache.PolicyLRU)
-		srrip = accuracy(cache.PolicySRRIP)
-		random = accuracy(cache.PolicyRandom)
+		accuracy(cache.PolicyQLRU)
+		accuracy(cache.PolicyLRU)
+		accuracy(cache.PolicySRRIP)
+		accuracy(cache.PolicyRandom)
 	}
 	b.ReportMetric(qlru, "accuracy-qlru")
 	b.ReportMetric(lru, "accuracy-lru")
@@ -272,11 +383,18 @@ func BenchmarkAblationReplacement(b *testing.B) {
 // BenchmarkAblationAdvancedDefense quantifies the §5.4 rules: interference
 // delay with no defense, rule 1 only, and both rules.
 func BenchmarkAblationAdvancedDefense(b *testing.B) {
-	var base, rule1, both float64
+	base := npeuDelay(b, nil)
+	rule1 := npeuDelay(b, func(c *uarch.Config) { c.HoldRSUntilSafe = true })
+	both := npeuDelay(b, func(c *uarch.Config) {
+		c.HoldRSUntilSafe = true
+		c.AgePriorityArb = true
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		base = npeuDelay(b, nil)
-		rule1 = npeuDelay(b, func(c *uarch.Config) { c.HoldRSUntilSafe = true })
-		both = npeuDelay(b, func(c *uarch.Config) {
+		npeuDelay(b, nil)
+		npeuDelay(b, func(c *uarch.Config) { c.HoldRSUntilSafe = true })
+		npeuDelay(b, func(c *uarch.Config) {
 			c.HoldRSUntilSafe = true
 			c.AgePriorityArb = true
 		})
@@ -287,15 +405,16 @@ func BenchmarkAblationAdvancedDefense(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed on the mixed
-// kernel (simulated cycles per benchmark op), for capacity planning.
+// kernel (simulated cycles per benchmark op), for capacity planning. Each
+// iteration deliberately includes system construction — this benchmark
+// tracks the cold path the reuse work does not cover.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	w, err := workload.ByName("mixed")
 	if err != nil {
 		b.Fatal(err)
 	}
 	prog, setup := w.Build(1000)
-	var simCycles, retired int64
-	for i := 0; i < b.N; i++ {
+	run := func() (int64, int64) {
 		m := mem.New()
 		setup(m)
 		sys, err := uarch.NewSystem(uarch.DefaultConfig(1), m)
@@ -309,7 +428,13 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		st := sys.Core(0).Stats()
-		simCycles, retired = st.Cycles, st.Retired
+		return st.Cycles, st.Retired
+	}
+	simCycles, retired := run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
 	}
 	b.ReportMetric(float64(simCycles), "sim-cycles/op")
 	b.ReportMetric(float64(retired), "sim-insts/op")
@@ -321,6 +446,8 @@ func BenchmarkSummarizeBaseline(b *testing.B) {
 	for i := range xs {
 		xs[i] = float64(i % 97)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = stats.Summarize(xs)
 	}

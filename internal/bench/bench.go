@@ -1,0 +1,84 @@
+// Package bench is the perf-trajectory counterpart of internal/results:
+// it canonicalizes `go test -bench` output into committed BENCH_<name>.json
+// trajectory files, diffs fresh runs against the committed baseline with
+// per-field tolerances, and backs the benchstore CLI that gates CI.
+//
+// The contract mirrors resultstore's: every benchmark in bench_test.go uses
+// fixed seeds and reports deterministic shape metrics, so the committed
+// baseline is a property of the code, not of the machine that ran it.
+// Wall-clock fields (ns/op) are compared inside a generous ratio band;
+// allocation counts are exact for the steady-state hot-path benchmarks
+// (the alloc-free trial loop contract) and ratio-banded elsewhere; shape
+// metrics are exact always.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Entry is one recorded observation of a benchmark: the measurement plus
+// provenance. A trajectory file holds entries oldest-first; the newest is
+// the active baseline.
+type Entry struct {
+	// Date is the recording day (UTC, YYYY-MM-DD).
+	Date string `json:"date,omitempty"`
+	// Commit is the source revision the recording ran at.
+	Commit string `json:"commit,omitempty"`
+	// Go is the toolchain version that produced the numbers.
+	Go string `json:"go,omitempty"`
+	// Note says why this entry was blessed ("pre-reuse baseline", ...).
+	Note string `json:"note,omitempty"`
+
+	// NsPerOp is wall time per op — machine-dependent, banded loosely.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is heap bytes allocated per op (-benchmem).
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// AllocsPerOp is heap allocations per op (-benchmem).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds the benchmark's b.ReportMetric shape metrics
+	// (separations, error rates, slowdowns) — deterministic by contract.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Result is one parsed benchmark measurement from a suite run.
+type Result struct {
+	// Name is the canonical benchmark name: the Go function name without
+	// the "Benchmark" prefix or the -GOMAXPROCS suffix.
+	Name string
+	Entry
+}
+
+// Trajectory is the BENCH_<name>.json file contents: the full history of
+// blessed observations for one benchmark, oldest first.
+type Trajectory struct {
+	Name    string  `json:"name"`
+	Entries []Entry `json:"entries"`
+}
+
+// Baseline returns the newest entry — the one checks compare against.
+func (t *Trajectory) Baseline() (Entry, error) {
+	if t == nil || len(t.Entries) == 0 {
+		return Entry{}, fmt.Errorf("bench: %s has no entries", t.Name)
+	}
+	return t.Entries[len(t.Entries)-1], nil
+}
+
+// CanonicalName strips the "Benchmark" prefix and the "-N" GOMAXPROCS
+// suffix from a go test benchmark name.
+func CanonicalName(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		digits := name[i+1:]
+		if digits != "" && strings.Trim(digits, "0123456789") == "" {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+// SortResults orders results by canonical name for stable reports.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+}

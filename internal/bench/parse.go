@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseOutput parses standard `go test -bench -benchmem` output into one
+// Result per benchmark line. Non-benchmark lines (goos/pkg/cpu banners,
+// PASS/ok trailers) are skipped. When -count produced several lines for
+// one benchmark, the last wins (fixed seeds make them identical anyway).
+func ParseOutput(r io.Reader) ([]Result, error) {
+	byName := map[string]int{}
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("bench: line %d: %w", lineNo, err)
+		}
+		if i, ok := byName[res.Name]; ok {
+			out[i] = res
+			continue
+		}
+		byName[res.Name] = len(out)
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: parse: %w", err)
+	}
+	SortResults(out)
+	return out, nil
+}
+
+// parseLine parses one benchmark result line: the name, the iteration
+// count, then (value, unit) pairs — ns/op, B/op, allocs/op, and any
+// b.ReportMetric custom units.
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	res := Result{Name: CanonicalName(fields[0])}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return Result{}, fmt.Errorf("bad iteration count in %q", line)
+	}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, fmt.Errorf("odd value/unit pairing in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("bad value %q in %q", rest[i], line)
+		}
+		switch unit := rest[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		case "MB/s":
+			// throughput is derived from ns/op; skip
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+)
+
+// RunConfig drives one fixed-seed suite run via `go test`.
+type RunConfig struct {
+	// Dir is the working directory for go test (the module root).
+	Dir string
+	// Pkg is the package holding the benchmarks (default ".").
+	Pkg string
+	// Pattern is the -bench regexp (default ".").
+	Pattern string
+	// Benchtime is the -benchtime value (default "3x"). The suite's
+	// benchmarks warm up inside the body before b.ResetTimer, so every
+	// timed iteration is the steady state and a systematic k-allocs-per-op
+	// regression still reports exactly k; averaging over a few iterations
+	// only flushes one-off noise (a GC emptying a sync.Pool mid-run adds
+	// 1/N allocs/op, which truncates to zero instead of tripping the
+	// exact gate).
+	Benchtime string
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Pkg == "" {
+		c.Pkg = "."
+	}
+	if c.Pattern == "" {
+		c.Pattern = "."
+	}
+	if c.Benchtime == "" {
+		c.Benchtime = "3x"
+	}
+	return c
+}
+
+// Run executes the benchmark suite and parses its output. The suite runs
+// with a small fixed iteration count and -count 1: the benchmarks are
+// seeded and warmed internally, so the timed iterations are both fast and
+// exactly reproducible.
+func Run(cfg RunConfig) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", cfg.Pattern, "-benchtime", cfg.Benchtime,
+		"-benchmem", "-count", "1", cfg.Pkg)
+	cmd.Dir = cfg.Dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("bench: go test: %w\n%s%s", err, out.String(), errb.String())
+	}
+	return ParseOutput(&out)
+}
+
+// ReadFile parses a saved `go test -bench` output file — the offline path
+// for tests and for checking a run recorded elsewhere.
+func ReadFile(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	defer f.Close()
+	return ParseOutput(f)
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store is a directory of BENCH_<name>.json trajectory files (the repo
+// root, so the committed baselines sit next to bench_test.go). Like the
+// resultstore, files are append-only histories: bless appends an entry,
+// the newest entry is the baseline, and history is the point.
+type Store struct {
+	dir string
+}
+
+// OpenStore returns a store rooted at dir, creating it if needed.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("bench: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bench: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the trajectory file for a canonical benchmark name.
+func (s *Store) Path(name string) string {
+	return filepath.Join(s.dir, "BENCH_"+name+".json")
+}
+
+// Names lists the benchmarks with committed trajectories, sorted.
+func (s *Store) Names() ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("bench: list store: %w", err)
+	}
+	var names []string
+	for _, m := range matches {
+		base := filepath.Base(m)
+		names = append(names, strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json"))
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Load reads one benchmark's trajectory. A missing file returns (nil, nil):
+// no history yet.
+func (s *Store) Load(name string) (*Trajectory, error) {
+	data, err := os.ReadFile(s.Path(name))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bench: load %s: %w", name, err)
+	}
+	t := &Trajectory{}
+	if err := json.Unmarshal(data, t); err != nil {
+		return nil, fmt.Errorf("bench: load %s: %w", name, err)
+	}
+	if t.Name != name {
+		return nil, fmt.Errorf("bench: %s holds trajectory for %q", s.Path(name), t.Name)
+	}
+	return t, nil
+}
+
+// Append records a new observation for name, creating the trajectory file
+// on first bless. The file is rewritten whole (entries are small) with
+// indented JSON so committed baselines diff readably.
+func (s *Store) Append(name string, e Entry) error {
+	t, err := s.Load(name)
+	if err != nil {
+		return err
+	}
+	if t == nil {
+		t = &Trajectory{Name: name}
+	}
+	t.Entries = append(t.Entries, e)
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.Path(name), append(data, '\n'), 0o644)
+}

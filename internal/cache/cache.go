@@ -169,6 +169,21 @@ func (c *Cache) InvalidateAll() {
 	}
 }
 
+// Reset restores the cache to its just-constructed state — every way
+// invalid, replacement state fresh, statistics zeroed — reusing the
+// existing arrays. Noise wrappers installed by AddReplacementNoise stay
+// in place (their shared Rand is reseeded by the hierarchy).
+func (c *Cache) Reset() {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			c.lines[s][w] = -1
+			c.valid[s][w] = false
+		}
+		c.state[s].Reset()
+	}
+	c.stats = Stats{}
+}
+
 // LinesInSet returns the valid line addresses currently in set, in way
 // order (introspection for tests and receivers' documentation).
 func (c *Cache) LinesInSet(set int) []int64 {

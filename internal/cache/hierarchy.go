@@ -219,8 +219,33 @@ func (h *Hierarchy) SetLogging(on bool) { h.logOn = on }
 // Log returns the visible LLC access log (C(E), §5.1).
 func (h *Hierarchy) Log() []VisibleAccess { return h.log }
 
-// ResetLog clears the visible-access log.
-func (h *Hierarchy) ResetLog() { h.log = nil }
+// ResetLog clears the visible-access log, retaining its capacity.
+func (h *Hierarchy) ResetLog() { h.log = h.log[:0] }
+
+// Reset restores the hierarchy to the state NewHierarchy would return for
+// the same configuration with Seed set to seed, reusing every cache array
+// and the log's capacity. It is the memory-side half of uarch.System.Reset.
+func (h *Hierarchy) Reset(seed uint64) {
+	h.cfg.Seed = seed
+	h.rng.Reseed(seed)
+	for _, c := range h.l1i {
+		c.Reset()
+	}
+	for _, c := range h.l1d {
+		c.Reset()
+	}
+	for _, c := range h.l2 {
+		c.Reset()
+	}
+	for _, f := range h.mshr {
+		f.Reset()
+	}
+	for _, c := range h.llc {
+		c.Reset()
+	}
+	h.logOn = true
+	h.log = h.log[:0]
+}
 
 func (h *Hierarchy) record(core int, addr int64, kind AccessKind, cycle int64, hit bool) {
 	if h.logOn {

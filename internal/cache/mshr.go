@@ -93,6 +93,13 @@ func (f *MSHRFile) Allocate(addr, ready, now int64) bool {
 // Clear empties the file (used when resetting a system between trials).
 func (f *MSHRFile) Clear() { f.entries = f.entries[:0] }
 
+// Reset empties the file and zeroes its statistics, restoring the state
+// NewMSHRFile returns.
+func (f *MSHRFile) Reset() {
+	f.Clear()
+	f.allocs, f.coalesces, f.fullStall = 0, 0, 0
+}
+
 // MSHRStats summarizes file activity.
 type MSHRStats struct {
 	Allocs     uint64

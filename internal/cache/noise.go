@@ -48,5 +48,8 @@ func (n *noisySet) Victim(occupied []bool) int {
 	return v
 }
 
+// Reset implements SetState.
+func (n *noisySet) Reset() { n.inner.Reset() }
+
 // DebugString implements SetState.
 func (n *noisySet) DebugString() string { return n.inner.DebugString() + "~noise" }

@@ -67,6 +67,9 @@ type SetState interface {
 	Victim(occupied []bool) int
 	// OnInvalidate records that way was invalidated.
 	OnInvalidate(way int)
+	// Reset restores the state a freshly-constructed set would have,
+	// without allocating.
+	Reset()
 	// DebugString renders the state for diagnostics.
 	DebugString() string
 }
@@ -145,6 +148,12 @@ func (s *LRUSet) Victim(occupied []bool) int {
 // OnInvalidate implements SetState.
 func (s *LRUSet) OnInvalidate(way int) { s.stamp[way] = 0 }
 
+// Reset implements SetState.
+func (s *LRUSet) Reset() {
+	clear(s.stamp)
+	s.clock = 0
+}
+
 // DebugString implements SetState.
 func (s *LRUSet) DebugString() string { return fmt.Sprintf("lru%v", s.stamp) }
 
@@ -215,6 +224,9 @@ func (s *TreePLRUSet) Victim(occupied []bool) int {
 // OnInvalidate implements SetState. PLRU keeps no per-way state to clear.
 func (s *TreePLRUSet) OnInvalidate(int) {}
 
+// Reset implements SetState.
+func (s *TreePLRUSet) Reset() { clear(s.bits) }
+
 // DebugString implements SetState.
 func (s *TreePLRUSet) DebugString() string { return fmt.Sprintf("plru%v", s.bits) }
 
@@ -254,6 +266,9 @@ func (s *NRUSet) Victim(occupied []bool) int {
 
 // OnInvalidate implements SetState.
 func (s *NRUSet) OnInvalidate(way int) { s.ref[way] = false }
+
+// Reset implements SetState.
+func (s *NRUSet) Reset() { clear(s.ref) }
 
 // DebugString implements SetState.
 func (s *NRUSet) DebugString() string { return fmt.Sprintf("nru%v", s.ref) }
@@ -298,6 +313,9 @@ func (s *SRRIPSet) Victim(occupied []bool) int {
 
 // OnInvalidate implements SetState.
 func (s *SRRIPSet) OnInvalidate(way int) { s.rrpv[way] = 0 }
+
+// Reset implements SetState.
+func (s *SRRIPSet) Reset() { clear(s.rrpv) }
 
 // DebugString implements SetState.
 func (s *SRRIPSet) DebugString() string { return fmt.Sprintf("srrip%v", s.rrpv) }
@@ -361,6 +379,9 @@ func (s *QLRUSet) Victim(occupied []bool) int {
 // OnInvalidate implements SetState.
 func (s *QLRUSet) OnInvalidate(way int) { s.age[way] = 0 }
 
+// Reset implements SetState.
+func (s *QLRUSet) Reset() { clear(s.age) }
+
 // Ages returns a copy of the per-way age vector (for tests and the
 // replacement-state receiver's documentation of Figure 8).
 func (s *QLRUSet) Ages() []uint8 {
@@ -414,6 +435,10 @@ func (s *RandomSet) Victim(occupied []bool) int {
 // OnInvalidate implements SetState.
 func (s *RandomSet) OnInvalidate(int) {}
 
+// Reset implements SetState. The shared Rand is reseeded by the hierarchy,
+// not per set.
+func (s *RandomSet) Reset() {}
+
 // DebugString implements SetState.
 func (s *RandomSet) DebugString() string { return "random" }
 
@@ -429,6 +454,15 @@ func NewRand(seed uint64) *Rand {
 		seed = 0x9e3779b97f4a7c15
 	}
 	return &Rand{state: seed}
+}
+
+// Reseed restarts the stream as if the generator had been built with
+// NewRand(seed), with the same zero-seed remapping.
+func (r *Rand) Reseed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	r.state = seed
 }
 
 // Uint64 returns the next pseudo-random value.

@@ -71,7 +71,9 @@ func Figure7Shards(trials int) (int, error) {
 // lets shards run on any backend (goroutine or subprocess) in any order.
 func Figure7Shard(trials, jitter int, seedBase uint64, j int) (float64, error) {
 	secret, i := j/trials, j%trials
-	return measureTargetLatency(secret, jitter, seedBase+uint64(2*i+secret))
+	ts := AcquireTrialState()
+	defer ReleaseTrialState(ts)
+	return measureTargetLatency(ts, secret, jitter, seedBase+uint64(2*i+secret))
 }
 
 // BuildFigure7Result assembles the Figure 7 histogram result from the two
@@ -90,10 +92,11 @@ func BuildFigure7Result(baseline, interference []float64) *Figure7Result {
 	return res
 }
 
-// measureTargetLatency runs one traced GDNPEU trial and extracts the
-// target latency: first f-chain sqrt issue to load A completion.
-func measureTargetLatency(secret, jitter int, seed uint64) (float64, error) {
-	r, err := RunTrial(TrialSpec{
+// measureTargetLatency runs one traced GDNPEU trial on ts (the latency
+// scalars are extracted before ts is reused) and returns the target
+// latency: first f-chain sqrt issue to load A completion.
+func measureTargetLatency(ts *TrialState, secret, jitter int, seed uint64) (float64, error) {
+	r, err := ts.Run(TrialSpec{
 		Gadget: GadgetNPEU, Ordering: OrderVDVD,
 		Policy: nil, // measured on the baseline machine, like the PoC
 		Secret: secret, Jitter: jitter, Seed: seed, Trace: true,

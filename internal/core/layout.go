@@ -22,6 +22,21 @@
 //     access logs across secret values.
 //   - The Figure 7 histogram and the Figure 11 channel PoCs build on the
 //     same trial machinery (figure7.go, poc.go).
+//
+// # Steady-state performance
+//
+// Batch harnesses run thousands of trials whose machines differ only by
+// seed. TrialState (trialstate.go) exploits that: each worker resets one
+// pooled two-core system in place between trials (uarch.System.Reset)
+// and reuses every result buffer, with victim programs and PoC receivers
+// memoized in front of the shared caches, so the post-warmup trial loop
+// performs zero heap allocations. The reuse path is pinned bit-identical
+// to fresh construction by TestTrialStateMatchesRunTrial and the
+// committed result baselines, and the zero is pinned by
+// TestTrialLoopAllocFree plus the committed BENCH_*.json trajectories
+// (internal/bench). RunTrial remains the single-shot entry point: it
+// runs on a private state, so its result — including the post-run
+// System — belongs to the caller.
 package core
 
 import (
@@ -97,9 +112,10 @@ func DefaultLayout(h *cache.Hierarchy) Layout {
 	return l
 }
 
-// probeLines returns the line addresses whose visible-access pattern
-// encodes the secret for a gadget/ordering combination.
-func probeLines(g Gadget, ord Ordering, l Layout, v *Victim) []int64 {
+// probeLines returns the two line addresses whose visible-access pattern
+// encodes the secret for a gadget/ordering combination (the secret line
+// first). A fixed-size array keeps the per-trial result path off the heap.
+func probeLines(g Gadget, ord Ordering, l Layout, v *Victim) [2]int64 {
 	switch ord {
 	case OrderVDVD:
 		bLine := mem.LineAddr(l.BAddr)
@@ -108,11 +124,11 @@ func probeLines(g Gadget, ord Ordering, l Layout, v *Victim) []int64 {
 			// first line instead of using BAddr.
 			bLine = mem.LineAddr(l.GadgetBase)
 		}
-		return []int64{mem.LineAddr(l.AAddr), bLine}
+		return [2]int64{mem.LineAddr(l.AAddr), bLine}
 	case OrderVDAD:
-		return []int64{mem.LineAddr(l.AAddr), mem.LineAddr(l.RefAddr)}
+		return [2]int64{mem.LineAddr(l.AAddr), mem.LineAddr(l.RefAddr)}
 	default: // OrderVIAD
-		return []int64{v.TargetLine, mem.LineAddr(l.RefAddr)}
+		return [2]int64{v.TargetLine, mem.LineAddr(l.RefAddr)}
 	}
 }
 

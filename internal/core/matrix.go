@@ -44,41 +44,43 @@ func Combos() [][2]interface{} {
 // issues its access "at a fixed time after inducing the mis-speculation"),
 // then replays both secrets with the cross-core reference injected.
 func Classify(schemeName string, g Gadget, ord Ordering) (MatrixCell, error) {
+	ts := AcquireTrialState()
+	defer ReleaseTrialState(ts)
 	cell := MatrixCell{Scheme: schemeName, Gadget: g, Ordering: ord}
-	mkSpec := func(secret int, refCycle int64) (TrialSpec, error) {
+	// run executes one trial on the shared state and extracts the scalars
+	// Classify needs before the next run reuses the result buffers —
+	// consecutive results from one TrialState alias each other, so the
+	// *TrialResult itself must not outlive the call.
+	run := func(secret int, refCycle int64) (sig string, secretCycle int64, err error) {
 		policy, err := schemes.ByName(schemeName)
 		if err != nil {
-			return TrialSpec{}, err
+			return "", 0, err
 		}
-		return TrialSpec{
+		r, err := ts.Run(TrialSpec{
 			Gadget: g, Ordering: ord, Policy: policy,
 			Secret: secret, RefCycle: refCycle,
-		}, nil
-	}
-	run := func(secret int, refCycle int64) (*TrialResult, error) {
-		spec, err := mkSpec(secret, refCycle)
+		})
 		if err != nil {
-			return nil, err
+			return "", 0, err
 		}
-		return RunTrial(spec)
+		return r.Signature(), r.SecretLineCycle, nil
 	}
 
 	refCycle := int64(0)
 	if ord == OrderVDAD || ord == OrderVIAD {
-		r0, err := run(0, 0)
+		sig0, t0, err := run(0, 0)
 		if err != nil {
 			return cell, err
 		}
-		r1, err := run(1, 0)
+		sig1, t1, err := run(1, 0)
 		if err != nil {
 			return cell, err
 		}
-		t0, t1 := r0.SecretLineCycle, r1.SecretLineCycle
 		switch {
 		case t0 == t1:
 			// The secret line appears at the same time (or never) under
 			// both secrets: no reference clock can distinguish them.
-			cell.Sig0, cell.Sig1 = r0.Signature(), r1.Signature()
+			cell.Sig0, cell.Sig1 = sig0, sig1
 			cell.Vulnerable = cell.Sig0 != cell.Sig1
 			return cell, nil
 		case t0 < 0 || t1 < 0:
@@ -94,15 +96,15 @@ func Classify(schemeName string, g Gadget, ord Ordering) (MatrixCell, error) {
 		}
 	}
 
-	r0, err := run(0, refCycle)
+	sig0, _, err := run(0, refCycle)
 	if err != nil {
 		return cell, err
 	}
-	r1, err := run(1, refCycle)
+	sig1, _, err := run(1, refCycle)
 	if err != nil {
 		return cell, err
 	}
-	cell.Sig0, cell.Sig1 = r0.Signature(), r1.Signature()
+	cell.Sig0, cell.Sig1 = sig0, sig1
 	cell.Vulnerable = cell.Sig0 != cell.Sig1
 	cell.RefCycle = refCycle
 	return cell, nil

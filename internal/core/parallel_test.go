@@ -12,7 +12,7 @@ func serialFigure7Latencies(t *testing.T, trials, jitter int, seedBase uint64) (
 	t.Helper()
 	for secret := 0; secret <= 1; secret++ {
 		for i := 0; i < trials; i++ {
-			lat, err := measureTargetLatency(secret, jitter, seedBase+uint64(2*i+secret))
+			lat, err := measureTargetLatency(NewTrialState(), secret, jitter, seedBase+uint64(2*i+secret))
 			if err != nil {
 				t.Fatalf("serial reference: %v", err)
 			}

@@ -115,33 +115,39 @@ func (p *PoC) spec(secret int, seed uint64) (TrialSpec, error) {
 }
 
 // RunBit executes one full prime → victim → probe trial transmitting
-// secret; seed varies the jitter draw between repetitions.
+// secret; seed varies the jitter draw between repetitions. The trial runs
+// on a pooled TrialState acquired per call, which keeps RunBit safe for
+// concurrent use on one shared PoC (the channel harness fans a single PoC
+// across its workers) while the steady-state bit loop stays off the heap.
 func (p *PoC) RunBit(secret int, seed uint64) (BitOutcome, error) {
 	spec, err := p.spec(secret, seed)
 	if err != nil {
 		return BitOutcome{}, err
 	}
+	ts := AcquireTrialState()
+	defer ReleaseTrialState(ts)
 	switch p.Kind {
 	case ICachePoC:
-		return p.runICacheBit(spec)
+		return p.runICacheBit(ts, spec)
 	default:
-		return p.runReplacementStateBit(spec)
+		return p.runReplacementStateBit(ts, spec)
 	}
 }
 
 // runReplacementStateBit is the Figure 9 flow: eviction-set init, prime,
 // mistrained victim, probe, decode.
-func (p *PoC) runReplacementStateBit(spec TrialSpec) (BitOutcome, error) {
-	sys, l, _, err := NewAttackSystem(spec)
+func (p *PoC) runReplacementStateBit(ts *TrialState, spec TrialSpec) (BitOutcome, error) {
+	sys, l, _, err := ts.attackSystem(spec)
 	if err != nil {
 		return BitOutcome{}, err
 	}
 	h := sys.Hierarchy()
 	if p.Kind == MSHRPoC {
-		// The MSHR victim's reference load targets the gadget's first line.
+		// The MSHR victim's reference load targets the gadget's first line
+		// (l is a value copy; the state's cached layout stays untouched).
 		l.BAddr = l.GadgetBase
 	}
-	recv, err := NewQLRUReceiver(h, l)
+	recv, prime, probe, err := ts.receiver(h, l, p.Kind, spec.Tweak != nil)
 	if err != nil {
 		return BitOutcome{}, err
 	}
@@ -150,7 +156,7 @@ func (p *PoC) runReplacementStateBit(spec TrialSpec) (BitOutcome, error) {
 	// Phase 1: attacker primes while the victim is held.
 	victim := sys.Core(0)
 	victim.SetPaused(true)
-	if err := runAttackerProgram(sys, recv.PrimeProgram(), trialMaxCycles); err != nil {
+	if err := runAttackerProgram(sys, prime, trialMaxCycles); err != nil {
 		return BitOutcome{}, fmt.Errorf("core: prime: %w", err)
 	}
 
@@ -161,7 +167,7 @@ func (p *PoC) runReplacementStateBit(spec TrialSpec) (BitOutcome, error) {
 	}
 
 	// Phase 3: attacker probes and times.
-	if err := runAttackerProgram(sys, recv.ProbeProgram(), trialMaxCycles); err != nil {
+	if err := runAttackerProgram(sys, probe, trialMaxCycles); err != nil {
 		return BitOutcome{}, fmt.Errorf("core: probe: %w", err)
 	}
 	latB := sys.Core(1).Reg(RegLatB)
@@ -171,16 +177,16 @@ func (p *PoC) runReplacementStateBit(spec TrialSpec) (BitOutcome, error) {
 }
 
 // runICacheBit is the §4.3 flow: flush target, run victim, timed reload.
-func (p *PoC) runICacheBit(spec TrialSpec) (BitOutcome, error) {
-	sys, _, v, err := NewAttackSystem(spec)
+func (p *PoC) runICacheBit(ts *TrialState, spec TrialSpec) (BitOutcome, error) {
+	sys, _, v, err := ts.attackSystem(spec)
 	if err != nil {
 		return BitOutcome{}, err
 	}
 	if err := sys.RunUntilCoreHalts(0, trialMaxCycles); err != nil {
 		return BitOutcome{}, fmt.Errorf("core: victim: %w", err)
 	}
-	recv := &FlushReloadReceiver{Target: v.TargetLine}
-	if err := runAttackerProgram(sys, recv.ReloadProgram(), trialMaxCycles); err != nil {
+	recv := FlushReloadReceiver{Target: v.TargetLine}
+	if err := runAttackerProgram(sys, ts.reloadProgram(v.TargetLine, spec.Tweak != nil), trialMaxCycles); err != nil {
 		return BitOutcome{}, fmt.Errorf("core: reload: %w", err)
 	}
 	lat := sys.Core(1).Reg(RegLatA)

@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// raceDetectorEnabled reports whether the race detector is instrumenting
+// this test binary. Alloc-count pins are meaningless under -race: the
+// instrumentation itself allocates and sync.Pool deliberately drops items
+// to widen interleavings.
+const raceDetectorEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled: see race_off_test.go.
+const raceDetectorEnabled = true

@@ -101,48 +101,65 @@ type victimKey struct {
 	params   VictimParams
 }
 
-// victimCache memoizes BuildVictim across trials: batch harnesses (the
-// Figure 7 arms, the matrix, the channel curves) run thousands of trials
-// over a handful of distinct (gadget, ordering, layout, params) tuples,
-// and the assembled program is immutable once built — the pipeline only
-// reads it, and the harness keys its per-trial state off the System, not
-// the Victim. Safe for concurrent shards.
-var victimCache sync.Map // victimKey -> *Victim
+// victimTable is one generation of the victim-program cache: the map and
+// the counters that describe it live together, so a reset — an atomic
+// pointer swap to a fresh table — can never pair new counters with old
+// entries (or vice versa) under concurrent shards.
+type victimTable struct {
+	// m memoizes BuildVictim across trials: batch harnesses (the Figure 7
+	// arms, the matrix, the channel curves) run thousands of trials over a
+	// handful of distinct (gadget, ordering, layout, params) tuples, and
+	// the assembled program is immutable once built — the pipeline only
+	// reads it, and the harness keys its per-trial state off the System,
+	// not the Victim. Safe for concurrent shards.
+	m            sync.Map // victimKey -> *Victim
+	hits, misses atomic.Uint64
+}
 
-var victimCacheHits, victimCacheMisses atomic.Uint64
+// victimTab points at the live cache generation. Readers Load the pointer
+// once per operation and work against that table; resetVictimCache swaps
+// in a fresh table instead of mutating the live one.
+var victimTab atomic.Pointer[victimTable]
+
+// victimCacheGen invalidates the per-TrialState victim memos, which sit in
+// front of victimTab and would otherwise survive a reset.
+var victimCacheGen atomic.Uint64
+
+func init() { victimTab.Store(&victimTable{}) }
 
 // cachedVictim returns the memoized victim for a key, building and
 // publishing it on first use. Concurrent first uses may both build; the
 // builder is deterministic, so either result is the same program.
 func cachedVictim(g Gadget, ord Ordering, l Layout, p VictimParams) (*Victim, error) {
+	t := victimTab.Load()
 	key := victimKey{gadget: g, ordering: ord, layout: l, params: p}
-	if v, ok := victimCache.Load(key); ok {
-		victimCacheHits.Add(1)
+	if v, ok := t.m.Load(key); ok {
+		t.hits.Add(1)
 		return v.(*Victim), nil
 	}
-	victimCacheMisses.Add(1)
+	t.misses.Add(1)
 	v, err := BuildVictim(g, ord, l, p)
 	if err != nil {
 		return nil, err
 	}
-	actual, _ := victimCache.LoadOrStore(key, v)
+	actual, _ := t.m.LoadOrStore(key, v)
 	return actual.(*Victim), nil
 }
 
-// VictimCacheStats reports victim-program cache hits and misses since
-// process start (diagnostics for the batch-trial fast path).
+// VictimCacheStats reports victim-program cache hits and misses for the
+// current cache generation (diagnostics for the batch-trial fast path).
 func VictimCacheStats() (hits, misses uint64) {
-	return victimCacheHits.Load(), victimCacheMisses.Load()
+	t := victimTab.Load()
+	return t.hits.Load(), t.misses.Load()
 }
 
-// resetVictimCache empties the cache and its counters (tests only).
+// resetVictimCache atomically replaces the cache with an empty generation
+// and invalidates every TrialState's private memo (tests only). Shards
+// racing with the reset finish against whichever table they loaded, so
+// stats stay internally consistent either way.
 func resetVictimCache() {
-	victimCache.Range(func(k, _ interface{}) bool {
-		victimCache.Delete(k)
-		return true
-	})
-	victimCacheHits.Store(0)
-	victimCacheMisses.Store(0)
+	victimTab.Store(&victimTable{})
+	victimCacheGen.Add(1)
 }
 
 // NewAttackSystem builds the two-core system, layout and victim for a
@@ -247,15 +264,16 @@ func prepareTrial(sys *uarch.System, l Layout, v *Victim, spec TrialSpec) error 
 	return nil
 }
 
-// refProgram builds the attacker's reference-clock program: one load of
-// RefAddr, then halt.
-func refProgram() *isa.Program {
+// refProgram returns the attacker's reference-clock program: one load of
+// RefAddr, then halt. The program is spec-independent (the address comes
+// from a register) and immutable once built, so it is assembled once.
+var refProgram = sync.OnceValue(func() *isa.Program {
 	return asm.NewBuilder().
 		SetCodeBase(attackerCodeBase).
 		Load(isa.R2, isa.R1, 0).
 		Halt().
 		MustBuild()
-}
+})
 
 // injectReference loads the reference program on the attacker core and
 // warms its code so the reference load issues immediately.
@@ -271,53 +289,12 @@ func injectReference(sys *uarch.System, l Layout) error {
 	return nil
 }
 
-// RunTrial executes one sender run and returns the probe-line events.
+// RunTrial executes one sender run and returns the probe-line events. It
+// runs on a private, unpooled TrialState, so the result (including the
+// post-run System) belongs to the caller; batch harnesses that discard
+// results between trials should use a pooled TrialState instead.
 func RunTrial(spec TrialSpec) (*TrialResult, error) {
-	sys, l, v, err := NewAttackSystem(spec)
-	if err != nil {
-		return nil, err
-	}
-	sink := &recordSink{}
-	if spec.Trace {
-		sys.Core(0).SetTraceHook(sink)
-	}
-	h := sys.Hierarchy()
-	h.ResetLog()
-
-	if spec.RefCycle > 0 {
-		for sys.Cycle() < spec.RefCycle && !sys.AllHalted() {
-			sys.Step()
-		}
-		if err := injectReference(sys, l); err != nil {
-			return nil, err
-		}
-	}
-	if err := sys.Run(trialMaxCycles); err != nil {
-		return nil, err
-	}
-
-	res := &TrialResult{
-		SecretLineCycle: -1,
-		VictimStats:     sys.Core(0).Stats(),
-		Records:         sink.recs,
-		Layout:          l,
-		Victim:          v,
-		System:          sys,
-	}
-	probes := probeLines(spec.Gadget, spec.Ordering, l, v)
-	secretLine := probes[0]
-	for _, a := range h.Log() {
-		for _, pl := range probes {
-			if a.Line == pl {
-				res.Events = append(res.Events, ProbeEvent{Core: a.Core, Line: a.Line, Cycle: a.Cycle})
-				if a.Line == secretLine && res.SecretLineCycle < 0 {
-					res.SecretLineCycle = a.Cycle
-				}
-				break
-			}
-		}
-	}
-	return res, nil
+	return NewTrialState().Run(spec)
 }
 
 // Signature renders the order of probe events without timing — the view

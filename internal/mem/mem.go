@@ -40,6 +40,11 @@ func (m *Memory) Write64(addr int64, v int64) {
 // Footprint returns the number of distinct words ever written.
 func (m *Memory) Footprint() int { return len(m.words) }
 
+// Reset makes the memory observably identical to New() while keeping the
+// map's buckets, so steady-state reuse (internal/core.TrialState) pays no
+// allocation to start over.
+func (m *Memory) Reset() { clear(m.words) }
+
 // Clone returns a deep copy; used by differential tests that need to run the
 // same initial state through two machines.
 func (m *Memory) Clone() *Memory {

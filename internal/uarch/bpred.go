@@ -65,5 +65,10 @@ func (b *BranchPred) Reset() {
 	}
 }
 
+// ResetStats zeroes the lookup/misprediction counters; Reset deliberately
+// leaves them alone because harnesses reset counters between measured
+// phases without wanting to lose the tallies.
+func (b *BranchPred) ResetStats() { b.lookups, b.mispredict = 0, 0 }
+
 // Stats returns (lookups, mispredictions).
 func (b *BranchPred) Stats() (uint64, uint64) { return b.lookups, b.mispredict }

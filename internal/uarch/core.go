@@ -154,6 +154,11 @@ type Core struct {
 	halted bool
 	paused bool
 
+	// freeEntries is the recycled-entry pool: every entry that leaves the
+	// pipeline (retire, squash, LoadProgram) returns here zeroed, so the
+	// steady-state trial loop dispatches without allocating.
+	freeEntries []*entry
+
 	stats CoreStats
 	hook  TraceHook
 }
@@ -174,6 +179,92 @@ func newCore(id int, sys *System) *Core {
 		c.regMap[i] = -1
 	}
 	return c
+}
+
+// newEntry returns a zeroed entry, reusing a recycled one when available.
+func (c *Core) newEntry() *entry {
+	if n := len(c.freeEntries); n > 0 {
+		e := c.freeEntries[n-1]
+		c.freeEntries[n-1] = nil
+		c.freeEntries = c.freeEntries[:n-1]
+		return e
+	}
+	return &entry{}
+}
+
+// recycle zeroes e and returns it to the pool. Callers must have removed e
+// from every pipeline queue first; euBusy may legitimately still point at a
+// finished non-pipelined op (issue never consults it once euFreeAt passes),
+// so it is scrubbed here.
+func (c *Core) recycle(e *entry) {
+	for p, b := range c.euBusy {
+		if b == e {
+			c.euBusy[p] = nil
+		}
+	}
+	*e = entry{}
+	c.freeEntries = append(c.freeEntries, e)
+}
+
+// truncEntries empties an entry queue keeping its capacity, nilling slots so
+// the backing array holds no stale pointers into the pool.
+func truncEntries(s []*entry) []*entry {
+	for i := range s {
+		s[i] = nil
+	}
+	return s[:0]
+}
+
+// clearPipeline recycles every in-flight entry and empties all pipeline
+// queues, retaining their storage.
+func (c *Core) clearPipeline() {
+	for _, e := range c.live {
+		c.recycle(e)
+	}
+	clear(c.live)
+	c.rob = truncEntries(c.rob)
+	c.rs = truncEntries(c.rs)
+	c.memOrder = truncEntries(c.memOrder)
+	c.executing = truncEntries(c.executing)
+	c.wbQueue = truncEntries(c.wbQueue)
+	c.fetchBuf = c.fetchBuf[:0]
+	for i := range c.euFreeAt {
+		c.euFreeAt[i] = 0
+		c.euBusy[i] = nil
+	}
+}
+
+// reset restores the core to the state newCore returns: no program, no
+// policy, architectural state zeroed, predictor fresh. Storage (queues,
+// entry pool, prefix arrays) is retained for reuse.
+func (c *Core) reset() {
+	c.clearPipeline()
+	c.prog = nil
+	c.policy = Unprotected{}
+	for i := range c.archRegs {
+		c.archRegs[i] = 0
+	}
+	for i := range c.regMap {
+		c.regMap[i] = -1
+	}
+	c.bp.Reset()
+	c.bp.ResetStats()
+	c.oracle = nil
+	c.oracleIdx = 0
+	c.nextSeq = 0
+	c.fetchPC = 0
+	c.fetchOn = false
+	c.lastIFLine = 0
+	c.lastIFInvis = false
+	c.ifPending = false
+	c.ifReadyAt = 0
+	c.redirectPend = false
+	c.redirectAt = 0
+	c.redirectPC = 0
+	c.halted = true
+	c.paused = false
+	c.stats = CoreStats{}
+	c.hook = nil
 }
 
 // ID returns the core id.
@@ -221,22 +312,12 @@ func (c *Core) LoadProgram(prog *isa.Program, policy SpecPolicy) error {
 	}
 	c.prog = prog
 	c.policy = policy
-	c.rob = nil
-	c.live = map[int64]*entry{}
-	c.rs = nil
-	c.memOrder = nil
-	c.executing = nil
-	c.wbQueue = nil
-	for i := range c.euFreeAt {
-		c.euFreeAt[i] = 0
-		c.euBusy[i] = nil
-	}
+	c.clearPipeline()
 	for i := range c.regMap {
 		c.regMap[i] = -1
 	}
 	c.fetchPC = 0
 	c.fetchOn = true
-	c.fetchBuf = nil
 	c.lastIFLine = -1
 	c.ifPending = false
 	c.redirectPend = false
@@ -577,12 +658,12 @@ func (c *Core) writeback(cycle int64) {
 	if n > len(c.wbQueue) {
 		n = len(c.wbQueue)
 	}
-	winners := c.wbQueue[:n]
 	c.stats.CDBConflicts += int64(len(c.wbQueue) - n)
-	c.wbQueue = append([]*entry(nil), c.wbQueue[n:]...)
 
+	// The winner loop never reads or writes the queue, so it can run before
+	// the losers are compacted down in place (no per-cycle reallocation).
 	var squashAt *entry
-	for _, e := range winners {
+	for _, e := range c.wbQueue[:n] {
 		e.completed = true
 		e.completeCycle = cycle
 		if e.inst.HasDst() {
@@ -608,6 +689,11 @@ func (c *Core) writeback(cycle int64) {
 			fp.OnInvisibleFill(e.addr)
 		}
 	}
+	m := copy(c.wbQueue, c.wbQueue[n:])
+	for i := m; i < len(c.wbQueue); i++ {
+		c.wbQueue[i] = nil
+	}
+	c.wbQueue = c.wbQueue[:m]
 	if squashAt != nil {
 		c.squash(squashAt, cycle)
 	}
@@ -693,8 +779,14 @@ func (c *Core) squash(br *entry, cycle int64) {
 			c.regMap[e.inst.Dst] = e.seq
 		}
 	}
+	// Every queue has been filtered; the doomed entries can go back to the
+	// pool (and out of the ROB's backing array).
+	for i, e := range doomed {
+		c.recycle(e)
+		doomed[i] = nil
+	}
 	// Redirect the front end.
-	c.fetchBuf = nil
+	c.fetchBuf = c.fetchBuf[:0]
 	c.ifPending = false
 	c.lastIFLine = -1
 	c.fetchOn = false
@@ -720,10 +812,11 @@ func filterEntries(s []*entry, drop func(*entry) bool) []*entry {
 // retire
 
 func (c *Core) retire(cycle int64) {
-	for n := 0; n < c.cfg.RetireWidth && len(c.rob) > 0; n++ {
-		e := c.rob[0]
+	popped := 0
+	for n := 0; n < c.cfg.RetireWidth && popped < len(c.rob); n++ {
+		e := c.rob[popped]
 		if !e.completed {
-			return
+			break
 		}
 		// Safety-deferred cache effects that have not fired yet must fire
 		// no later than retirement.
@@ -757,16 +850,26 @@ func (c *Core) retire(cycle int64) {
 		c.rs = filterEntries(c.rs, func(x *entry) bool { return x == e })
 		c.memOrder = filterEntries(c.memOrder, func(x *entry) bool { return x == e })
 		delete(c.live, e.seq)
-		c.rob = c.rob[1:]
+		popped++
 		c.stats.Retired++
 		if c.hook != nil {
 			r := record(e, false)
 			r.Retire = cycle
 			c.hook.Record(c.id, r)
 		}
+		c.recycle(e)
 		if c.halted {
-			return
+			break
 		}
+	}
+	// One compaction per cycle keeps the ROB anchored at its backing array's
+	// base, so dispatch appends never reallocate in steady state.
+	if popped > 0 {
+		m := copy(c.rob, c.rob[popped:])
+		for i := m; i < m+popped; i++ {
+			c.rob[i] = nil
+		}
+		c.rob = c.rob[:m]
 	}
 }
 
@@ -801,15 +904,15 @@ func (c *Core) dispatch(cycle int64) {
 			c.stats.RSFullStallCycles++
 			return
 		}
-		c.fetchBuf = c.fetchBuf[1:]
-		e := &entry{
-			seq: c.nextSeq, pc: f.pc, inst: f.inst,
-			class:      isa.OpClass(f.inst.Op),
-			fetchCycle: f.fetchCycle, dispCycle: cycle,
-			predTaken: f.predTaken, predNext: f.predNext,
-			invisibleFetch: f.invisibleFetch,
-			level:          cache.LevelMem,
-		}
+		nf := copy(c.fetchBuf, c.fetchBuf[1:])
+		c.fetchBuf = c.fetchBuf[:nf]
+		e := c.newEntry()
+		e.seq, e.pc, e.inst = c.nextSeq, f.pc, f.inst
+		e.class = isa.OpClass(f.inst.Op)
+		e.fetchCycle, e.dispCycle = f.fetchCycle, cycle
+		e.predTaken, e.predNext = f.predTaken, f.predNext
+		e.invisibleFetch = f.invisibleFetch
+		e.level = cache.LevelMem
 		c.nextSeq++
 		srcs, nsrc := f.inst.Uses()
 		e.nsrc = nsrc

@@ -235,6 +235,21 @@ func MustNewSystem(cfg Config, m *mem.Memory) *System {
 	return s
 }
 
+// Reset restores the system to the state NewSystem(cfg, mem.New()) returns
+// with the cache seed set to seed — empty memory, cold caches, fresh cores,
+// cycle zero — while reusing every internal array and the cores' entry
+// pools. It is the allocation-free replacement for building a new system
+// per trial (internal/core.TrialState).
+func (s *System) Reset(seed uint64) {
+	s.cfg.Cache.Seed = seed
+	s.mem.Reset()
+	s.hier.Reset(seed)
+	for _, c := range s.cores {
+		c.reset()
+	}
+	s.cycle = 0
+}
+
 // Hierarchy exposes the shared cache hierarchy.
 func (s *System) Hierarchy() *cache.Hierarchy { return s.hier }
 

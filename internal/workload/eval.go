@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"specinterference/internal/mem"
 	"specinterference/internal/runner"
@@ -147,16 +148,46 @@ func AggregateCells(cfg EvalConfig, cells []Cell) *EvalResult {
 	return res
 }
 
+// evalSys is one pooled evaluation machine. The pool hands each worker
+// goroutine a machine it resets between cells instead of rebuilding —
+// System.Reset restores exactly the NewSystem(cfg, mem.New()) state, so
+// cells stay pure functions of (cfg, j) with or without reuse.
+type evalSys struct {
+	cores int
+	seed  uint64
+	sys   *uarch.System
+}
+
+var evalSysPool sync.Pool // *evalSys
+
+// acquireEvalSys returns a machine for the given core count, reusing a
+// pooled one when its shape matches.
+func acquireEvalSys(cores int) (*evalSys, error) {
+	if es, _ := evalSysPool.Get().(*evalSys); es != nil {
+		if es.cores == cores {
+			es.sys.Reset(es.seed)
+			return es, nil
+		}
+		// Wrong shape for this sweep; drop it and build the right one.
+	}
+	ucfg := uarch.DefaultConfig(cores)
+	sys, err := uarch.NewSystem(ucfg, mem.New())
+	if err != nil {
+		return nil, err
+	}
+	return &evalSys{cores: cores, seed: ucfg.Cache.Seed, sys: sys}, nil
+}
+
 // runOnce executes one kernel under one policy and returns cycles.
 func runOnce(w Workload, policyName string, cfg EvalConfig) (int64, float64, error) {
 	prog, setup := w.Build(cfg.Iters)
-	m := mem.New()
-	setup(m)
-	ucfg := uarch.DefaultConfig(cfg.Cores)
-	sys, err := uarch.NewSystem(ucfg, m)
+	es, err := acquireEvalSys(cfg.Cores)
 	if err != nil {
 		return 0, 0, err
 	}
+	defer evalSysPool.Put(es)
+	sys := es.sys
+	setup(sys.Memory())
 	var policy uarch.SpecPolicy
 	if policyName != "unsafe" {
 		policy, err = schemes.ByName(policyName)
