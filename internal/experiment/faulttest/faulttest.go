@@ -85,6 +85,22 @@ func (s *Shim) Lease(worker string) (remote.Lease, error) {
 	return l, err
 }
 
+// Stats fetches the coordinator's GET /stats snapshot — run progress,
+// the speculative-backup counters and per-worker throughput estimates.
+func (s *Shim) Stats() (remote.Stats, error) {
+	resp, err := s.client().Get(s.Base + "/stats")
+	if err != nil {
+		return remote.Stats{}, err
+	}
+	defer resp.Body.Close()
+	var st remote.Stats
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
 // Renew renews a lease and returns the HTTP status (200 alive, 410 gone).
 func (s *Shim) Renew(leaseID string) (int, error) {
 	body, _ := json.Marshal(remote.RenewRequest{ID: leaseID, Run: s.Run})

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -51,8 +52,10 @@ type Config struct {
 // leaseState is one outstanding grant.
 type leaseState struct {
 	id      string
+	seq     int // numeric id, for deterministic oldest-grant tie-breaks
 	worker  string
 	span    experiment.Span
+	granted time.Time // grant time; backup issue picks the oldest grant
 	expires time.Time // hard re-issue cliff: last renewal + TTL
 	// lastBeat is the last sign of life under this lease (grant, renew
 	// or accepted result); the adaptive re-issue deadline hangs off it.
@@ -62,13 +65,29 @@ type leaseState struct {
 	// not renewals, and folding them in would collapse the cadence to
 	// the inter-result interval and sweep healthy workers mid-chunk.
 	lastRenew time.Time
-	// lastProgress is the previous result arrival (or the grant), for
-	// the per-shard cost estimate.
+	// lastProgress is the previous accepted result's arrival, for the
+	// per-shard cost estimate. Anchored at the lease's first accepted
+	// result — not the grant — so a worker that fetched a grant and then
+	// idled (wait/poll loop, job fetch) doesn't fold the wait into the
+	// cost EWMA and collapse the adaptive chunk size.
 	lastProgress time.Time
 	// started is set once a result arrived under this lease; an
 	// unstarted grant is returned verbatim to a re-polling worker, so a
 	// lease response lost in transit never orphans a chunk for a TTL.
 	started bool
+	// backup marks a speculative backup lease (a second copy of another
+	// grant's undone remainder, issued to an idle worker when the
+	// pending queue drained). The flag persists through promotion, for
+	// the backups-won/wasted counters.
+	backup bool
+	// backupID, on a primary lease, names its live backup lease ("" =
+	// none); at most one backup exists per span at a time. primaryID, on
+	// a backup lease, names the primary it shadows. When either side of
+	// the pair is dropped, the survivor covers the span alone: its
+	// linkage is cleared and the dropped lease's remainder is NOT
+	// requeued, so the pending queue never holds a third copy.
+	backupID  string
+	primaryID string
 }
 
 // Coordinator owns one experiment run's shard state machine: a queue of
@@ -87,22 +106,35 @@ type Coordinator struct {
 	onDone func()
 	now    func() time.Time
 
-	mu        sync.Mutex
-	pending   []experiment.Span      // unleased spans, FIFO
-	leases    map[string]*leaseState // outstanding grants
-	issued    map[string]experiment.Span
-	byWorker  map[string]string        // worker name -> its latest lease id
-	cadence   map[string]time.Duration // worker name -> EWMA renew interval
-	costEWMA  time.Duration            // observed per-shard completion cost
-	nextID    int
-	done      []bool   // per-shard completion
-	values    []any    // decoded shard values, by index
-	raw       [][]byte // accepted result bytes, for the byte-equality assertion
-	remaining int
-	replayed  int // shards restored from the journal at startup
-	journal   *journal
-	fatal     error
-	finished  chan struct{}
+	mu       sync.Mutex
+	pending  []experiment.Span      // unleased spans, FIFO
+	leases   map[string]*leaseState // outstanding grants
+	issued   map[string]experiment.Span
+	byWorker map[string]string        // worker name -> its latest lease id
+	cadence  map[string]time.Duration // worker name -> EWMA renew interval
+	// throughput is each worker's accepted-shards-per-second EWMA; grant
+	// sizes scale with it, so fast machines get proportionally larger
+	// adaptive chunks. byWorker, cadence and throughput entries are
+	// pruned when the worker's last lease is swept, keeping a long-lived
+	// coordinator's maps bounded by the live worker set.
+	throughput map[string]float64
+	costEWMA   time.Duration // observed per-shard completion cost
+	nextID     int
+	// Backup-execution counters, for the end-of-run summary and /stats:
+	// leases issued speculatively, shards whose first accepted result
+	// arrived under a backup lease, and byte-equal duplicates a backup
+	// streamed after the shard was already done.
+	backupsIssued int
+	backupsWon    int
+	backupsWasted int
+	done          []bool   // per-shard completion
+	values        []any    // decoded shard values, by index
+	raw           [][]byte // accepted result bytes, for the byte-equality assertion
+	remaining     int
+	replayed      int // shards restored from the journal at startup
+	journal       *journal
+	fatal         error
+	finished      chan struct{}
 }
 
 // newRunToken mints the per-run random token that scopes every lease,
@@ -148,15 +180,16 @@ func NewCoordinator(spec *experiment.Spec, p results.Params, n int, cfg Config) 
 		run:   newRunToken(),
 		chunk: chunk, fixed: fixed, maxCh: maxCh, lease: lease,
 		onDone: cfg.OnShardDone, now: now,
-		leases:    map[string]*leaseState{},
-		issued:    map[string]experiment.Span{},
-		byWorker:  map[string]string{},
-		cadence:   map[string]time.Duration{},
-		done:      make([]bool, n),
-		values:    make([]any, n),
-		raw:       make([][]byte, n),
-		remaining: n,
-		finished:  make(chan struct{}),
+		leases:     map[string]*leaseState{},
+		issued:     map[string]experiment.Span{},
+		byWorker:   map[string]string{},
+		cadence:    map[string]time.Duration{},
+		throughput: map[string]float64{},
+		done:       make([]bool, n),
+		values:     make([]any, n),
+		raw:        make([][]byte, n),
+		remaining:  n,
+		finished:   make(chan struct{}),
 	}
 	if cfg.Journal != "" {
 		j, replayed, err := openJournal(cfg.Journal, spec, p, n, c.run, c.replayEntry)
@@ -256,15 +289,61 @@ func (c *Coordinator) fail(err error) {
 // sweepExpired reclaims every lease past its re-issue deadline: the
 // contiguous runs of not-yet-done shards inside its span go back in the
 // queue for other workers — this is the crash tolerance and the work
-// stealing in one move. Callers hold mu.
+// stealing in one move. An expired worker's byWorker, cadence and
+// throughput entries go with it, so a long-lived coordinator's maps stay
+// bounded by the live worker set. Callers hold mu.
 func (c *Coordinator) sweepExpired() {
 	now := c.now()
-	for id, l := range c.leases {
-		if now.Before(c.reissueDeadline(l)) {
-			continue
+	var expired []*leaseState
+	for _, l := range c.leases {
+		if !now.Before(c.reissueDeadline(l)) {
+			expired = append(expired, l)
 		}
+	}
+	for _, l := range expired {
+		c.dropLease(l, true)
+	}
+}
+
+// dropLease removes one lease and requeues its undone remainder — unless
+// the lease's live backup (or, for a backup, its live primary) still
+// covers the span, in which case the survivor is unlinked and owns the
+// span alone: a backup's span bounds every shard of its primary that was
+// undone at issue time, so whichever copy survives covers everything
+// still outstanding, and requeueing would put a third copy of the work
+// in play. When both sides of a pair expire in one sweep, the first one
+// dropped sees its counterpart still live and skips the requeue; the
+// second has been unlinked and requeues — exactly once either way.
+// pruneWorker additionally clears the worker's cadence and throughput
+// estimates (the sweep path: the worker is presumed gone); the
+// abandoned-grant release path keeps them, since that worker is alive
+// and about to be granted more work. Callers hold mu.
+func (c *Coordinator) dropLease(l *leaseState, pruneWorker bool) {
+	delete(c.leases, l.id)
+	covered := false
+	if l.backupID != "" {
+		if b := c.leases[l.backupID]; b != nil {
+			b.primaryID = ""
+			covered = true
+		}
+		l.backupID = ""
+	}
+	if l.primaryID != "" {
+		if p := c.leases[l.primaryID]; p != nil {
+			p.backupID = ""
+			covered = true
+		}
+		l.primaryID = ""
+	}
+	if !covered {
 		c.requeueUndone(l.span)
-		delete(c.leases, id)
+	}
+	if l.worker != "" && c.byWorker[l.worker] == l.id {
+		delete(c.byWorker, l.worker)
+		if pruneWorker {
+			delete(c.cadence, l.worker)
+			delete(c.throughput, l.worker)
+		}
 	}
 }
 
@@ -328,10 +407,55 @@ func (c *Coordinator) targetChunk() int {
 	return k
 }
 
-// observeCost folds one shard completion into the per-shard cost EWMA
-// driving adaptive chunk sizing; a result from an already-expired lease
-// carries no usable timing. Callers hold mu.
-func (c *Coordinator) observeCost(l *leaseState, now time.Time) {
+// targetChunkFor is the grant size for one worker: the global adaptive
+// target scaled by the worker's observed throughput relative to the
+// fleet mean, within [1/4, 4]x and the usual [1, n/8] clamp — a machine
+// completing shards four times faster than average gets grants up to
+// four times larger, and a slow one stops being handed TTL-sized chunks
+// it can't finish. Pinned -chunk, unknown workers and single-worker
+// fleets (no peer to compare against) all fall back to the global
+// target. Scheduling only, never values. Callers hold mu.
+func (c *Coordinator) targetChunkFor(worker string) int {
+	k := c.targetChunk()
+	if c.fixed || worker == "" || len(c.throughput) < 2 {
+		return k
+	}
+	tp, ok := c.throughput[worker]
+	if !ok || tp <= 0 {
+		return k
+	}
+	var sum float64
+	for _, t := range c.throughput {
+		sum += t
+	}
+	mean := sum / float64(len(c.throughput))
+	if mean <= 0 {
+		return k
+	}
+	f := tp / mean
+	if f < 0.25 {
+		f = 0.25
+	}
+	if f > 4 {
+		f = 4
+	}
+	k = int(float64(k) * f)
+	if k < 1 {
+		k = 1
+	}
+	if k > c.maxCh {
+		k = c.maxCh
+	}
+	return k
+}
+
+// observeProgress folds one accepted shard completion into the adaptive
+// scheduling estimates: the global per-shard cost EWMA and the worker's
+// throughput EWMA. Callers pass only result-to-result intervals — the
+// lease's first accepted result merely anchors lastProgress (see
+// leaseState) — and a result from an already-expired lease carries no
+// usable timing. Callers hold mu.
+func (c *Coordinator) observeProgress(l *leaseState, now time.Time) {
 	if l == nil {
 		return
 	}
@@ -345,6 +469,127 @@ func (c *Coordinator) observeCost(l *leaseState, now time.Time) {
 	} else {
 		c.costEWMA = (3*c.costEWMA + dt) / 4
 	}
+	if l.worker != "" {
+		rate := float64(time.Second) / float64(dt)
+		if old, ok := c.throughput[l.worker]; ok {
+			c.throughput[l.worker] = (3*old + rate) / 4
+		} else {
+			c.throughput[l.worker] = rate
+		}
+	}
+}
+
+// undoneBounds is the tightest span covering sp's not-done shards;
+// ok is false when every shard of sp is complete. Callers hold mu.
+func (c *Coordinator) undoneBounds(sp experiment.Span) (experiment.Span, bool) {
+	lo, hi := -1, -1
+	for i := sp.Start; i < sp.End; i++ {
+		if !c.done[i] {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	if lo < 0 {
+		return experiment.Span{}, false
+	}
+	return experiment.Span{Start: lo, End: hi + 1}, true
+}
+
+// newLease mints and registers one grant. Callers hold mu.
+func (c *Coordinator) newLease(worker string, sp experiment.Span, now time.Time) *leaseState {
+	c.nextID++
+	l := &leaseState{
+		id:  fmt.Sprintf("L%d", c.nextID),
+		seq: c.nextID, worker: worker, span: sp,
+		granted: now, expires: now.Add(c.lease),
+		lastBeat: now, lastRenew: now, lastProgress: now,
+	}
+	c.leases[l.id] = l
+	c.issued[l.id] = sp
+	if worker != "" {
+		c.byWorker[worker] = l.id
+	}
+	return l
+}
+
+// grantBackup is speculative backup execution, the tail-latency half of
+// the MapReduce playbook the byte-equality dedup already paid for: when
+// the pending queue is empty but grants are still in flight, an idle
+// worker is handed a second copy of the oldest in-flight grant's undone
+// remainder instead of a Wait. Whichever copy lands first wins through
+// the normal dedup (a mismatch is still the 409 determinism tripwire);
+// the loser's duplicates are acknowledged and counted as wasted. Fences:
+// never the span's current holder, at most one live backup per span
+// (neither a backed-up primary nor a live backup is a candidate), and an
+// anonymous requester gets nothing (the holder fence needs an identity).
+// Returns nil when no grant qualifies. Callers hold mu.
+func (c *Coordinator) grantBackup(worker string, now time.Time) *leaseState {
+	if worker == "" {
+		return nil
+	}
+	var oldest *leaseState
+	var span experiment.Span
+	for _, l := range c.leases {
+		if l.worker == worker || l.backupID != "" || l.primaryID != "" {
+			continue
+		}
+		sp, ok := c.undoneBounds(l.span)
+		if !ok {
+			continue // fully done, just not yet expired
+		}
+		if oldest == nil || l.granted.Before(oldest.granted) ||
+			(l.granted.Equal(oldest.granted) && l.seq < oldest.seq) {
+			oldest, span = l, sp
+		}
+	}
+	if oldest == nil {
+		return nil
+	}
+	b := c.newLease(worker, span, now)
+	b.backup = true
+	b.primaryID = oldest.id
+	oldest.backupID = b.id
+	c.backupsIssued++
+	return b
+}
+
+// Stats snapshots the coordinator's scheduling state: run progress, the
+// live lease and queue shape, the speculative-backup counters, and
+// per-worker throughput/cadence estimates (sorted by worker name).
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Run: c.run, Shards: c.n,
+		Done: c.n - c.remaining, Remaining: c.remaining,
+		PendingSpans: len(c.pending), Leases: len(c.leases),
+		BackupsIssued: c.backupsIssued, BackupsWon: c.backupsWon,
+		BackupsWasted:  c.backupsWasted,
+		CostEWMAMicros: c.costEWMA.Microseconds(),
+	}
+	for _, l := range c.leases {
+		if l.backup {
+			st.BackupLeases++
+		}
+	}
+	seen := map[string]bool{}
+	for w := range c.throughput {
+		seen[w] = true
+	}
+	for w := range c.cadence {
+		seen[w] = true
+	}
+	for w := range seen {
+		ws := WorkerStats{Worker: w, ThroughputPerSec: c.throughput[w]}
+		if cad, ok := c.cadence[w]; ok {
+			ws.CadenceMillis = cad.Milliseconds()
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Worker < st.Workers[j].Worker })
+	return st
 }
 
 // Handler returns the coordinator's HTTP interface.
@@ -354,7 +599,12 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/lease", c.handleLease)
 	mux.HandleFunc("/renew", c.handleRenew)
 	mux.HandleFunc("/results", c.handleResults)
+	mux.HandleFunc("/stats", c.handleStats)
 	return mux
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Stats())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -406,49 +656,54 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, Lease{Done: true, Run: c.run})
 		return
 	}
-	// Idempotent re-poll: a worker holding an unexpired grant it never
-	// started (no results arrived) gets the same grant back — the retry
-	// after a lease response lost in transit, not a request for more.
 	if req.Worker != "" {
 		if id, ok := c.byWorker[req.Worker]; ok {
-			if l := c.leases[id]; l != nil && !l.started {
-				l.expires = now.Add(c.lease)
-				l.lastBeat = now
-				writeJSON(w, http.StatusOK, Lease{
-					ID: l.id, Run: c.run, Start: l.span.Start, End: l.span.End,
-					ExpiresMillis: c.lease.Milliseconds(),
-				})
-				return
+			if l := c.leases[id]; l != nil {
+				if !l.started {
+					// Idempotent re-poll: a worker holding an unexpired
+					// grant it never started (no results arrived) gets the
+					// same grant back — the retry after a lease response
+					// lost in transit, not a request for more.
+					l.expires = now.Add(c.lease)
+					l.lastBeat = now
+					writeJSON(w, http.StatusOK, Lease{
+						ID: l.id, Run: c.run, Start: l.span.Start, End: l.span.End,
+						ExpiresMillis: c.lease.Milliseconds(), Backup: l.backup,
+					})
+					return
+				}
+				// Abandoned-grant release: a worker never polls for a new
+				// lease while still serving a chunk, so a re-poll from the
+				// holder of a started, unexpired grant means it abandoned
+				// that chunk (the transport-error fallback) and moved on.
+				// The coordinator knows — releasing the undone remainder
+				// now, before granting fresh work, beats leaving those
+				// shards unserveable until the TTL cliff. The worker's
+				// cadence and throughput estimates survive: it is alive.
+				c.dropLease(l, false)
 			}
 		}
 	}
 	if len(c.pending) == 0 {
+		if b := c.grantBackup(req.Worker, now); b != nil {
+			writeJSON(w, http.StatusOK, Lease{
+				ID: b.id, Run: c.run, Start: b.span.Start, End: b.span.End,
+				ExpiresMillis: c.lease.Milliseconds(), Backup: true,
+			})
+			return
+		}
 		writeJSON(w, http.StatusOK, Lease{Wait: true, Run: c.run, PollMillis: c.pollInterval().Milliseconds()})
 		return
 	}
-	// Carve the grant off the head span at the current target size; the
+	// Carve the grant off the head span at the worker's target size; the
 	// remainder goes back to the front so the queue stays FIFO.
 	sp := c.pending[0]
 	c.pending = c.pending[1:]
-	if k := c.targetChunk(); sp.End-sp.Start > k {
+	if k := c.targetChunkFor(req.Worker); sp.End-sp.Start > k {
 		c.pending = append([]experiment.Span{{Start: sp.Start + k, End: sp.End}}, c.pending...)
 		sp.End = sp.Start + k
 	}
-	c.nextID++
-	l := &leaseState{
-		id:           fmt.Sprintf("L%d", c.nextID),
-		worker:       req.Worker,
-		span:         sp,
-		expires:      now.Add(c.lease),
-		lastBeat:     now,
-		lastRenew:    now,
-		lastProgress: now,
-	}
-	c.leases[l.id] = l
-	c.issued[l.id] = sp
-	if req.Worker != "" {
-		c.byWorker[req.Worker] = l.id
-	}
+	l := c.newLease(req.Worker, sp, now)
 	writeJSON(w, http.StatusOK, Lease{
 		ID: l.id, Run: c.run, Start: sp.Start, End: sp.End,
 		ExpiresMillis: c.lease.Milliseconds(),
@@ -478,8 +733,7 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 		// Expired (possibly re-issued already): the worker must abandon
 		// the chunk. Results it already streamed remain accepted.
 		if ok {
-			c.requeueUndone(l.span)
-			delete(c.leases, req.ID)
+			c.dropLease(l, true)
 		}
 		http.Error(w, "lease expired or unknown", http.StatusGone)
 		return
@@ -562,13 +816,16 @@ func (c *Coordinator) acceptResult(line []byte) (int, error) {
 	// Only lines the coordinator actually accepts count as signs of life
 	// (and as "the grant was started"): rejected garbage must not keep a
 	// babbling-but-stuck worker's lease alive or defeat the unstarted
-	// re-poll idempotency.
+	// re-poll idempotency. The started transition also anchors the
+	// per-shard cost clock: the gap between the grant and the first
+	// accepted result is fetch and idle time, not shard cost.
 	l := c.leases[rl.Lease]
 	beat := func(started bool) {
 		if l != nil {
 			l.lastBeat = now
-			if started {
+			if started && !l.started {
 				l.started = true
+				l.lastProgress = now
 			}
 		}
 	}
@@ -582,8 +839,14 @@ func (c *Coordinator) acceptResult(line []byte) (int, error) {
 			beat(false)
 			return http.StatusOK, nil
 		case bytes.Equal(c.raw[rl.Shard], rl.Value):
+			// Idempotent duplicate from a re-issued or backup lease; a
+			// backup's duplicate means its primary got there first —
+			// wasted speculation, worth counting.
+			if l != nil && l.backup {
+				c.backupsWasted++
+			}
 			beat(true)
-			return http.StatusOK, nil // idempotent duplicate from a re-issued lease
+			return http.StatusOK, nil
 		default:
 			err := fmt.Errorf("remote: shard %d: duplicate result differs from accepted bytes — determinism contract violated", rl.Shard)
 			c.fail(err)
@@ -611,12 +874,18 @@ func (c *Coordinator) acceptResult(line []byte) (int, error) {
 			return http.StatusInternalServerError, err
 		}
 	}
+	first := l != nil && !l.started
 	beat(true)
 	c.values[rl.Shard] = v
 	c.raw[rl.Shard] = append([]byte(nil), rl.Value...)
 	c.done[rl.Shard] = true
 	c.remaining--
-	c.observeCost(l, now)
+	if l != nil && l.backup {
+		c.backupsWon++ // the speculative copy landed first
+	}
+	if !first {
+		c.observeProgress(l, now)
+	}
 	if c.onDone != nil {
 		c.onDone()
 	}

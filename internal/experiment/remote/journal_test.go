@@ -446,10 +446,14 @@ func TestAdaptiveReclaimLowerBound(t *testing.T) {
 			t.Fatalf("renew %d: status %d", i, status)
 		}
 	}
-	// 3×cadence would be 300ms, but the floor is lease/2 = 5s: at 4s
-	// of silence the lease must still be held.
+	// 3×cadence would be 300ms, but the floor is lease/2 = 5s: at 4s of
+	// silence the lease must still be held — a poacher gets at most a
+	// speculative backup copy, never the reclaimed span itself.
 	clock.Advance(4 * time.Second)
-	if got := grantLease(t, url, "vulture"); !got.Wait {
-		t.Errorf("4s after last beat (floor 5s): lease = %+v, want wait", got)
+	if got := grantLease(t, url, "vulture"); !got.Backup {
+		t.Errorf("4s after last beat (floor 5s): lease = %+v, want a backup copy (primary still held)", got)
+	}
+	if status := postDoc(t, url+"/renew", RenewRequest{ID: l.ID, Run: l.Run}, nil); status != http.StatusOK {
+		t.Errorf("renew before the floor: status %d, want %d (lease was reclaimed)", status, http.StatusOK)
 	}
 }

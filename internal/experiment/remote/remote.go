@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -141,7 +142,26 @@ func (b Remote) Run(ctx context.Context, spec *experiment.Spec, p results.Params
 	// Give local workers one poll cycle to observe Done and exit cleanly;
 	// stragglers are killed rather than orphaned.
 	workers.reap(coord.pollInterval() + time.Second)
+	fmt.Fprintln(stderr, runSummary(coord.Stats()))
 	return coord.Values()
+}
+
+// runSummary renders the end-of-run scheduling summary: shard count, the
+// speculative-backup counters, and each worker's observed throughput —
+// the tail-latency machinery's speedup made visible instead of vibes.
+func runSummary(st Stats) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "remote: run complete: %d shards; backups: %d issued, %d won, %d wasted",
+		st.Shards, st.BackupsIssued, st.BackupsWon, st.BackupsWasted)
+	for i, ws := range st.Workers {
+		if i == 0 {
+			sb.WriteString("; throughput:")
+		} else {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, " %s %.1f/s", ws.Worker, ws.ThroughputPerSec)
+	}
+	return sb.String()
 }
 
 // localWorkers tracks the worker processes a coordinator spawned beside
@@ -153,6 +173,14 @@ type localWorkers struct {
 	errs   []error
 	wg     sync.WaitGroup
 }
+
+// slowWorkerEnv is the spawn-side half of the shardDelayEnv fault shim:
+// when set to a time.Duration string, the FIRST local worker is started
+// with that per-shard delay while the rest run at full speed — a
+// reproducible straggler, so the CI backup-execution gate can drive
+// speculative backup leases through a stock `resultstore check -backend
+// remote` run. Never set in normal operation.
+const slowWorkerEnv = "SPECINTERFERENCE_REMOTE_SLOW_WORKER"
 
 // spawnLocalWorkers starts Procs re-exec'd -remote-worker processes
 // against the coordinator URL, each with "[remote-worker N]"-framed
@@ -167,10 +195,14 @@ func (b Remote) spawnLocalWorkers(ctx context.Context, url string, stderr io.Wri
 		return nil, fmt.Errorf("remote: locate executable for local workers: %w", err)
 	}
 	var stderrMu sync.Mutex
+	slow := os.Getenv(slowWorkerEnv)
 	for i := 0; i < b.Procs; i++ {
 		cmd := exec.CommandContext(ctx, exe, WorkerArg,
 			"-connect", url, "-parallel", strconv.Itoa(b.Workers))
 		cmd.Env = append(os.Environ(), workerEnvVar+"=1")
+		if i == 0 && slow != "" {
+			cmd.Env = append(cmd.Env, shardDelayEnv+"="+slow)
+		}
 		pipe, err := cmd.StderrPipe()
 		if err != nil {
 			lw.kill()

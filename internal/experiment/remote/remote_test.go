@@ -241,12 +241,17 @@ func TestLeaseExpiryReissue(t *testing.T) {
 		t.Fatalf("result: status %d", status)
 	}
 
-	// Before expiry: nothing to grant.
-	if l := grantLease(t, url, "vulture"); !l.Wait {
-		t.Fatalf("pre-expiry lease = %+v, want wait", l)
+	// Before expiry there is nothing in the queue, but the doomed grant
+	// is in flight: an idle worker gets a speculative backup of its
+	// undone remainder (shards 0, 2, 3 — bounding span [0,4)) instead of
+	// a Wait. This vulture then stalls too, so expiry still plays out.
+	bk := grantLease(t, url, "vulture")
+	if !bk.Backup || bk.Start != 0 || bk.End != 4 {
+		t.Fatalf("pre-expiry lease = %+v, want a backup of [0,4)", bk)
 	}
 	clock.Advance(2 * time.Second)
-	// After expiry the unfinished shards are re-issued as contiguous
+	// After expiry — the primary and its backup both lapsed — the
+	// unfinished shards are re-issued exactly once, as contiguous
 	// sub-spans around the completed shard 1: [0,1) then [2,4). Two
 	// distinct workers ask — a re-poll from one worker would
 	// idempotently return its own unstarted grant.
@@ -254,6 +259,13 @@ func TestLeaseExpiryReissue(t *testing.T) {
 	b := grantLease(t, url, "vulture-b")
 	if a.Start != 0 || a.End != 1 || b.Start != 2 || b.End != 4 {
 		t.Fatalf("re-issued spans [%d,%d) [%d,%d), want [0,1) [2,4)", a.Start, a.End, b.Start, b.End)
+	}
+	// Had the double expiry requeued the span twice, a third asker would
+	// be handed a duplicate copy from the queue rather than a wait/backup
+	// answer (both live grants are unstarted re-issues, not backup
+	// targets with progress, so nothing else is grantable).
+	if l := grantLease(t, url, "vulture-c"); !l.Wait && !l.Backup {
+		t.Fatalf("post-reissue third lease = %+v, want wait or backup, not a queued duplicate", l)
 	}
 
 	// Renewing the expired lease must fail.
@@ -301,9 +313,329 @@ func TestRenewExtendsLease(t *testing.T) {
 		t.Fatalf("renew: status %d", status)
 	}
 	clock.Advance(900 * time.Millisecond)
-	// 1.8s after grant but only 0.9s after renewal: still held.
-	if got := grantLease(t, url, "vulture"); !got.Wait {
-		t.Errorf("post-renew lease = %+v, want wait (lease still held)", got)
+	// 1.8s after grant but only 0.9s after renewal: the lease survived
+	// its original TTL — the holder's re-poll gets the same unstarted
+	// grant back instead of a fresh one carved from a requeued span, and
+	// an idle stranger is offered only a speculative backup of it, never
+	// the span itself off the queue.
+	if got := grantLease(t, url, "steady"); got.ID != l.ID {
+		t.Errorf("post-renew re-poll = %+v, want the held grant %s back", got, l.ID)
+	}
+	if got := grantLease(t, url, "vulture"); !got.Backup {
+		t.Errorf("post-renew stranger lease = %+v, want a backup (lease still held)", got)
+	}
+}
+
+// postShard streams one honest result line and asserts it is accepted.
+func postShard(t *testing.T, url string, p results.Params, run, lease string, shard int) {
+	t.Helper()
+	var ack ResultAck
+	if status := postDoc(t, url+"/results", ResultLine{Run: run, Lease: lease, ShardLine: experiment.ShardLine{Shard: shard, Value: encodeValue(t, p, shard)}}, &ack); status != http.StatusOK {
+		t.Fatalf("shard %d: status %d", shard, status)
+	}
+}
+
+// TestBackupAvoidsTTLCliff is the tail-latency acceptance test: with one
+// of three workers stalled mid-chunk, the run finishes through a
+// speculative backup lease while the stalled lease's TTL (an hour, on a
+// fake clock that never advances past a second) is nowhere near expiry —
+// the coordinator no longer waits out the cliff. Also pins the backup
+// fences: one live backup per span, and an already-satisfied span is
+// never a backup target.
+func TestBackupAvoidsTTLCliff(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(3000, 0)}
+	p := results.Params{Trials: 6, Seed: 2}
+	spec := testSpec(t)
+	coord, url := startCoordinator(t, spec, p, 6, Config{Chunk: 2, Lease: time.Hour, Now: clock.Now})
+
+	la := grantLease(t, url, "alpha") // [0,2)
+	lb := grantLease(t, url, "beta")  // [2,4)
+	lc := grantLease(t, url, "gamma") // [4,6)
+	if la.Start != 0 || lb.Start != 2 || lc.Start != 4 {
+		t.Fatalf("grants [%d %d %d], want [0 2 4]", la.Start, lb.Start, lc.Start)
+	}
+	postShard(t, url, p, la.Run, la.ID, 0)
+	postShard(t, url, p, la.Run, la.ID, 1)
+	postShard(t, url, p, lc.Run, lc.ID, 4)
+	postShard(t, url, p, lc.Run, lc.ID, 5)
+	// beta completes shard 2, then stalls mid-chunk with shard 3 undone.
+	postShard(t, url, p, lb.Run, lb.ID, 2)
+
+	clock.Advance(time.Second) // far from the one-hour cliff
+	// alpha, idle again, asks for more: the queue is empty, so it gets a
+	// speculative backup of beta's undone remainder [3,4) — never a Wait.
+	bk := grantLease(t, url, "alpha")
+	if !bk.Backup || bk.Start != 3 || bk.End != 4 {
+		t.Fatalf("idle-worker lease = %+v, want a backup of [3,4)", bk)
+	}
+	// One backup per span: a fourth worker is told to wait, not handed a
+	// third copy.
+	if l := grantLease(t, url, "delta"); !l.Wait {
+		t.Fatalf("second idle lease = %+v, want wait (span already backed up)", l)
+	}
+	// The backup's result finishes the run with the stalled lease still
+	// hours from expiry.
+	postShard(t, url, p, bk.Run, bk.ID, 3)
+	select {
+	case <-coord.Finished():
+	default:
+		t.Fatal("run not finished after the backup result landed")
+	}
+	vals, err := coord.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if want := float64(i*i) + float64(p.Seed); v != want {
+			t.Errorf("shard %d = %v, want %v", i, v, want)
+		}
+	}
+	st := coord.Stats()
+	if st.BackupsIssued != 1 || st.BackupsWon != 1 || st.BackupsWasted != 0 {
+		t.Errorf("backup counters issued/won/wasted = %d/%d/%d, want 1/1/0", st.BackupsIssued, st.BackupsWon, st.BackupsWasted)
+	}
+	// beta's straggler copy of shard 3 arrives late: acknowledged
+	// idempotently, and not counted against the backup.
+	postShard(t, url, p, lb.Run, lb.ID, 3)
+	if st := coord.Stats(); st.BackupsWasted != 0 {
+		t.Errorf("primary straggler counted as wasted backup: %+v", st)
+	}
+}
+
+// TestBackupDuplicateWasted: when the primary wins a shard the backup
+// also ran, the backup's byte-equal duplicate is acknowledged and
+// counted as wasted speculation; a divergent duplicate from a backup is
+// still the 409 determinism tripwire.
+func TestBackupDuplicateWasted(t *testing.T) {
+	p := results.Params{Trials: 3, Seed: 11}
+	coord, url := startCoordinator(t, testSpec(t), p, 3, Config{Chunk: 3})
+	prim := grantLease(t, url, "prim")
+	postShard(t, url, p, prim.Run, prim.ID, 0) // started; 1,2 undone
+	bk := grantLease(t, url, "spec")
+	if !bk.Backup || bk.Start != 1 || bk.End != 3 {
+		t.Fatalf("backup lease = %+v, want backup of [1,3)", bk)
+	}
+	// Primary lands shard 1 first; the backup's copy is wasted.
+	postShard(t, url, p, prim.Run, prim.ID, 1)
+	postShard(t, url, p, bk.Run, bk.ID, 1)
+	if st := coord.Stats(); st.BackupsIssued != 1 || st.BackupsWon != 0 || st.BackupsWasted != 1 {
+		t.Errorf("backup counters issued/won/wasted = %d/%d/%d, want 1/0/1", st.BackupsIssued, st.BackupsWon, st.BackupsWasted)
+	}
+	// A forged divergent copy from the backup fails the run.
+	if status := postDoc(t, url+"/results", ResultLine{Run: bk.Run, Lease: bk.ID, ShardLine: experiment.ShardLine{Shard: 1, Value: json.RawMessage("424242")}}, nil); status != http.StatusConflict {
+		t.Errorf("divergent backup duplicate: status %d, want %d", status, http.StatusConflict)
+	}
+	if _, err := coord.Values(); err == nil || !strings.Contains(err.Error(), "determinism") {
+		t.Errorf("Values() = %v, want determinism violation", err)
+	}
+}
+
+// TestAbandonedGrantRelease pins the abandoned-grant bugfix: a worker
+// that starts a chunk, abandons it (the transport-error fallback) and
+// re-polls /lease used to get fresh work while its old lease kept the
+// abandoned shards unserveable for the full TTL. Now the re-poll
+// releases the undone remainder first.
+func TestAbandonedGrantRelease(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(4000, 0)}
+	p := results.Params{Trials: 4, Seed: 9}
+	coord, url := startCoordinator(t, testSpec(t), p, 4, Config{Chunk: 4, Lease: time.Hour, Now: clock.Now})
+
+	l1 := grantLease(t, url, "flaky")
+	if l1.Start != 0 || l1.End != 4 {
+		t.Fatalf("first grant [%d,%d), want [0,4)", l1.Start, l1.End)
+	}
+	postShard(t, url, p, l1.Run, l1.ID, 0) // started
+	clock.Advance(time.Second)             // nowhere near the cliff
+	// The worker abandoned the chunk and asks again: the old lease's
+	// remainder [1,4) must come back immediately as a regular grant —
+	// not the same lease, not a backup, and not a TTL-long stall.
+	l2 := grantLease(t, url, "flaky")
+	if l2.ID == l1.ID || l2.Backup || l2.Wait || l2.Start != 1 || l2.End != 4 {
+		t.Fatalf("re-poll after abandonment = %+v, want a fresh grant of [1,4)", l2)
+	}
+	// The abandoned lease is gone: renewing it fails...
+	if status := postDoc(t, url+"/renew", RenewRequest{ID: l1.ID, Run: l1.Run}, nil); status != http.StatusGone {
+		t.Errorf("renew of released lease: status %d, want %d", status, http.StatusGone)
+	}
+	// ...but a straggler result it already computed is still accepted
+	// (issued spans survive release, like expiry).
+	postShard(t, url, p, l1.Run, l1.ID, 1)
+	for _, shard := range []int{2, 3} {
+		postShard(t, url, p, l2.Run, l2.ID, shard)
+	}
+	select {
+	case <-coord.Finished():
+	default:
+		t.Fatal("run not finished")
+	}
+	if _, err := coord.Values(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerStatePruned pins the state-leak bugfix: churning through
+// many short-lived workers must not grow byWorker, cadence or throughput
+// without bound — a swept worker's entries go with its last lease.
+func TestWorkerStatePruned(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(5000, 0)}
+	p := results.Params{Trials: 64, Seed: 1}
+	coord, url := startCoordinator(t, testSpec(t), p, 64, Config{Chunk: 1, Lease: time.Second, Now: clock.Now})
+
+	const churn = 20
+	for i := 0; i < churn; i++ {
+		w := fmt.Sprintf("ephemeral-%d", i)
+		l := grantLease(t, url, w)
+		if l.Wait || l.Done {
+			t.Fatalf("worker %s got no grant: %+v", w, l)
+		}
+		// A renewal seeds the cadence map; a posted result seeds
+		// throughput — the maps under test.
+		clock.Advance(100 * time.Millisecond)
+		if status := postDoc(t, url+"/renew", RenewRequest{ID: l.ID, Run: l.Run}, nil); status != http.StatusOK {
+			t.Fatalf("renew %s: status %d", w, status)
+		}
+		postShard(t, url, p, l.Run, l.ID, l.Start)
+		// ...and the worker vanishes; its lease expires.
+		clock.Advance(3 * time.Second)
+	}
+	// One live worker remains after the final sweep.
+	last := grantLease(t, url, "survivor")
+	if last.Wait || last.Done {
+		t.Fatalf("survivor got no grant: %+v", last)
+	}
+	coord.mu.Lock()
+	defer coord.mu.Unlock()
+	if len(coord.byWorker) > 1 {
+		t.Errorf("byWorker holds %d entries after churn, want <= 1", len(coord.byWorker))
+	}
+	if len(coord.cadence) > 1 {
+		t.Errorf("cadence holds %d entries after churn, want <= 1 (stale EWMAs leak)", len(coord.cadence))
+	}
+	if len(coord.throughput) > 1 {
+		t.Errorf("throughput holds %d entries after churn, want <= 1", len(coord.throughput))
+	}
+	if len(coord.leases) > 1 {
+		t.Errorf("%d leases outstanding after churn, want <= 1", len(coord.leases))
+	}
+}
+
+// TestFirstResultAnchorsCostEWMA pins the cost-poisoning bugfix: a long
+// gap between a grant and its first result (job fetch, the wait/poll
+// loop) is idle time, not shard cost, and must not collapse the adaptive
+// chunk size.
+func TestFirstResultAnchorsCostEWMA(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(6000, 0)}
+	p := results.Params{Trials: 8, Seed: 4}
+	coord, url := startCoordinator(t, testSpec(t), p, 8, Config{Chunk: 4, Lease: time.Hour, Now: clock.Now})
+
+	l := grantLease(t, url, "idler")
+	clock.Advance(30 * time.Second) // a long idle stretch before any result
+	postShard(t, url, p, l.Run, l.ID, 0)
+	coord.mu.Lock()
+	ewma := coord.costEWMA
+	coord.mu.Unlock()
+	if ewma != 0 {
+		t.Fatalf("first result fed the cost EWMA (%v); it must only anchor the clock", ewma)
+	}
+	clock.Advance(50 * time.Millisecond)
+	postShard(t, url, p, l.Run, l.ID, 1)
+	coord.mu.Lock()
+	ewma = coord.costEWMA
+	tp := coord.throughput["idler"]
+	coord.mu.Unlock()
+	if ewma != 50*time.Millisecond {
+		t.Errorf("cost EWMA after one interval = %v, want exactly 50ms (the idle gap leaked in)", ewma)
+	}
+	if want := 20.0; tp != want {
+		t.Errorf("throughput EWMA = %v shards/s, want %v", tp, want)
+	}
+}
+
+// TestThroughputScalesGrants: with two workers whose observed completion
+// rates differ, the fast worker's adaptive grants are larger than the
+// slow worker's — within the global [1, n/8] clamp and a 4x band.
+func TestThroughputScalesGrants(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(7000, 0)}
+	p := results.Params{Trials: 1024, Seed: 3}
+	coord, url := startCoordinator(t, testSpec(t), p, 1024, Config{Now: clock.Now})
+
+	fast := grantLease(t, url, "fast")
+	slow := grantLease(t, url, "slow")
+	post := func(l Lease, shard int, step time.Duration) {
+		clock.Advance(step)
+		postShard(t, url, p, l.Run, l.ID, shard)
+	}
+	// Interleave so both EWMAs see result-to-result intervals: fast
+	// completes a shard every 10ms, slow every 160ms.
+	post(fast, fast.Start, 0)
+	post(slow, slow.Start, 0)
+	for i := 1; i < 8; i++ {
+		post(fast, fast.Start+i, 10*time.Millisecond)
+		post(slow, slow.Start+i, 160*time.Millisecond)
+	}
+	coord.mu.Lock()
+	kFast := coord.targetChunkFor("fast")
+	kSlow := coord.targetChunkFor("slow")
+	kAnon := coord.targetChunkFor("")
+	coord.mu.Unlock()
+	if kFast <= kSlow {
+		t.Errorf("targetChunk fast=%d slow=%d, want fast > slow", kFast, kSlow)
+	}
+	if kFast < 1 || kFast > 128 || kSlow < 1 || kSlow > 128 {
+		t.Errorf("chunk sizes fast=%d slow=%d escaped [1, n/8]", kFast, kSlow)
+	}
+	if base := coord.targetChunk(); kAnon != base {
+		t.Errorf("anonymous worker chunk = %d, want the global target %d", kAnon, base)
+	}
+}
+
+// TestStatsEndpoint: GET /stats serves a JSON snapshot whose progress,
+// lease and backup fields track the run.
+func TestStatsEndpoint(t *testing.T) {
+	p := results.Params{Trials: 4, Seed: 6}
+	_, url := startCoordinator(t, testSpec(t), p, 4, Config{Chunk: 4})
+	prim := grantLease(t, url, "prim")
+	// Two results per worker: the first anchors its clock, the second
+	// yields an interval, so both earn a throughput estimate.
+	postShard(t, url, p, prim.Run, prim.ID, 0)
+	postShard(t, url, p, prim.Run, prim.ID, 1)
+	bk := grantLease(t, url, "spec")
+	if !bk.Backup || bk.Start != 2 || bk.End != 4 {
+		t.Fatalf("second lease = %+v, want backup of [2,4)", bk)
+	}
+	postShard(t, url, p, bk.Run, bk.ID, 2)
+	postShard(t, url, p, bk.Run, bk.ID, 3)
+
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Run != prim.Run {
+		t.Errorf("stats run = %q, want %q", st.Run, prim.Run)
+	}
+	if st.Shards != 4 || st.Done != 4 || st.Remaining != 0 {
+		t.Errorf("stats progress = %d/%d/%d, want shards 4 done 4 remaining 0", st.Shards, st.Done, st.Remaining)
+	}
+	if st.Leases != 2 || st.BackupLeases != 1 {
+		t.Errorf("stats leases = %d (backup %d), want 2 (1)", st.Leases, st.BackupLeases)
+	}
+	if st.BackupsIssued != 1 || st.BackupsWon != 2 {
+		t.Errorf("stats backups issued/won = %d/%d, want 1/2", st.BackupsIssued, st.BackupsWon)
+	}
+	// Both workers posted two results, so both appear with throughput
+	// estimates, sorted by name.
+	if len(st.Workers) != 2 || st.Workers[0].Worker != "prim" || st.Workers[1].Worker != "spec" {
+		t.Fatalf("stats workers = %+v, want prim then spec", st.Workers)
+	}
+	for _, ws := range st.Workers {
+		if ws.ThroughputPerSec <= 0 {
+			t.Errorf("worker %s throughput = %v, want > 0", ws.Worker, ws.ThroughputPerSec)
+		}
 	}
 }
 

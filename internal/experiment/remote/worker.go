@@ -27,6 +27,15 @@ const jobFetchTimeout = 10 * time.Second
 // RunWorker goroutines against one httptest coordinator).
 var workerSeq atomic.Int64
 
+// shardDelayEnv is a fault-injection shim: a time.Duration string that
+// makes this worker sleep that long before streaming each shard result,
+// turning it into an artificial straggler. The CI backup-execution gate
+// sets it on one of two local workers (see slowWorkerEnv in remote.go)
+// so speculative backup leases are exercised on every push; never set in
+// normal operation. Scheduling only — a slowed worker's results are
+// byte-identical, just late.
+const shardDelayEnv = "SPECINTERFERENCE_REMOTE_SHARD_DELAY"
+
 // RunWorker serves one coordinator until its job completes: fetch the
 // job, prepare per-process state once, then loop — lease a chunk, run
 // its shards through the shared experiment.RunShardLines path (workers
@@ -72,6 +81,10 @@ func RunWorker(ctx context.Context, connect string, workers int, logw io.Writer)
 	hostname, _ := os.Hostname()
 	worker := fmt.Sprintf("%s-%d-%d", hostname, os.Getpid(), workerSeq.Add(1))
 	fmt.Fprintf(logw, "remote-worker %s: serving %s (%d shards) from %s\n", worker, job.Experiment, job.Shards, base)
+	delay, _ := time.ParseDuration(os.Getenv(shardDelayEnv))
+	if delay > 0 {
+		fmt.Fprintf(logw, "remote-worker %s: fault shim active: %v delay per shard\n", worker, delay)
+	}
 
 	resyncs := 0
 	for {
@@ -125,7 +138,7 @@ func RunWorker(ctx context.Context, connect string, workers int, logw io.Writer)
 				return ctx.Err()
 			}
 		default:
-			if err := serveChunk(ctx, client, base, spec, state, job, grant, workers, lease); err != nil {
+			if err := serveChunk(ctx, client, base, spec, state, job, grant, workers, lease, delay); err != nil {
 				return err
 			}
 		}
@@ -133,8 +146,11 @@ func RunWorker(ctx context.Context, connect string, workers int, logw io.Writer)
 }
 
 // serveChunk runs one leased chunk, streaming results and renewing the
-// lease until the chunk completes or the lease is lost.
-func serveChunk(ctx context.Context, client *http.Client, base string, spec *experiment.Spec, state any, job Job, grant Lease, workers int, lease time.Duration) error {
+// lease until the chunk completes or the lease is lost. delay > 0 is the
+// shardDelayEnv fault shim: sleep before streaming each result (the
+// renew loop keeps the lease alive regardless, so a slowed worker is a
+// straggler, not a crash).
+func serveChunk(ctx context.Context, client *http.Client, base string, spec *experiment.Spec, state any, job Job, grant Lease, workers int, lease, delay time.Duration) error {
 	chunkCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -180,6 +196,13 @@ func serveChunk(ctx context.Context, client *http.Client, base string, spec *exp
 	var transportErr error
 	runErr := experiment.RunShardLines(chunkCtx, spec, state, job.Params, grant.Start, grant.End, workers,
 		func(sl experiment.ShardLine) error {
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-chunkCtx.Done():
+					return chunkCtx.Err()
+				}
+			}
 			var ack ResultAck
 			if err := postLine(chunkCtx, client, base+"/results", ResultLine{Run: job.Run, Lease: grant.ID, ShardLine: sl}, &ack); err != nil {
 				transportErr = err
