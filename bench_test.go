@@ -440,6 +440,114 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(retired), "sim-insts/op")
 }
 
+// --- Component microbenchmarks ----------------------------------------------
+//
+// The cycle-level cost centers of the simulator, isolated: one pipeline
+// step, one cache-hierarchy access, one memory word access. Each is
+// allocation-free in steady state (gated exactly in internal/bench), so a
+// regression in any hot structure shows up here before it dilutes into the
+// end-to-end numbers above.
+
+// stepBench measures the amortized cost of a single System.Step on the
+// named kernel: the system is built once and each iteration advances the
+// machine one cycle, reloading the program in place at halt. One full
+// execution before the timer warms the entry pool and queue capacities;
+// access logging is off, as in the steady-state trial loop.
+func stepBench(b *testing.B, kernel string) {
+	b.Helper()
+	w, err := workload.ByName(kernel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, setup := w.Build(200)
+	m := mem.New()
+	setup(m)
+	sys, err := uarch.NewSystem(uarch.DefaultConfig(1), m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Hierarchy().SetLogging(false)
+	load := func() {
+		if err := sys.LoadProgram(0, prog, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	load()
+	for !sys.AllHalted() {
+		sys.Step()
+	}
+	load()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sys.AllHalted() {
+			load()
+		}
+		sys.Step()
+	}
+}
+
+// BenchmarkStepMixedKernel is one System.Step of the mixed kernel — the
+// same instruction blend BenchmarkSimulatorThroughput runs end to end.
+func BenchmarkStepMixedKernel(b *testing.B) { stepBench(b, "mixed") }
+
+// BenchmarkStepComputeKernel is one System.Step of the compute kernel: long
+// independent ALU/mul/sqrt chains keep the reservation stations full, so
+// the step cost is dominated by the issue stage's candidate scan — the
+// microbenchmark for one issue pass.
+func BenchmarkStepComputeKernel(b *testing.B) { stepBench(b, "compute") }
+
+// BenchmarkHierarchyAccessL1Hit is one visible data access that hits the
+// L1: the hot path of every warmed load the LSU replays.
+func BenchmarkHierarchyAccessL1Hit(b *testing.B) {
+	h := cache.NewHierarchy(cache.DefaultConfig(1))
+	h.SetLogging(false)
+	const addr = 0x10000
+	h.AccessData(0, addr, cache.KindDataRead, true, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessData(0, addr, cache.KindDataRead, true, int64(i)+1)
+	}
+}
+
+// BenchmarkHierarchyMissWalk is one full miss: flush the line, then walk
+// L1 → L2 → LLC → memory and fill every level on the way back.
+func BenchmarkHierarchyMissWalk(b *testing.B) {
+	h := cache.NewHierarchy(cache.DefaultConfig(1))
+	h.SetLogging(false)
+	const addr = 0x10000
+	h.AccessData(0, addr, cache.KindDataRead, true, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Flush(addr)
+		h.AccessData(0, addr, cache.KindDataRead, true, int64(i)+1)
+	}
+}
+
+// BenchmarkMemoryReadWrite is one Write64/Read64 pair against the paged
+// backing store, cycling a 4-page working set so the page memo and the
+// map fallback are both exercised.
+func BenchmarkMemoryReadWrite(b *testing.B) {
+	m := mem.New()
+	const words = 2048
+	for w := 0; w < words; w++ {
+		m.Write64(int64(w)*8, int64(w))
+	}
+	var sink int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := int64(i%words) * 8
+		m.Write64(a, int64(i))
+		sink += m.Read64(a)
+	}
+	if sink == -1 {
+		b.Fatal("impossible")
+	}
+}
+
 // BenchmarkSummarizeBaseline keeps the stats package honest about cost.
 func BenchmarkSummarizeBaseline(b *testing.B) {
 	xs := make([]float64, 1000)

@@ -70,6 +70,13 @@ func DefaultTolerance() Tolerance {
 			"TrialSteadyStateMatrixCell": true,
 			"TrialSteadyStatePoCBit":     true,
 			"SummarizeBaseline":          true,
+			// The component microbenchmarks isolate the simulator's cycle-
+			// level hot paths; all are allocation-free in steady state.
+			"StepMixedKernel":      true,
+			"StepComputeKernel":    true,
+			"HierarchyAccessL1Hit": true,
+			"HierarchyMissWalk":    true,
+			"MemoryReadWrite":      true,
 		},
 	}
 }

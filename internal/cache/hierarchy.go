@@ -419,19 +419,27 @@ func (h *Hierarchy) WarmInst(core int, addr int64, level Level) {
 // This is the simulator analog of the eviction-set construction the PoCs
 // borrow from Liu et al. (§4.1): the attacker knows the geometry.
 func (h *Hierarchy) FindEvictionSet(target int64, n int, startHint int64, avoid []int64) []int64 {
-	excl := map[int64]bool{mem.LineAddr(target): true}
-	for _, a := range avoid {
-		excl[mem.LineAddr(a)] = true
+	// The exclusion check is a linear scan over the (tiny) avoid list
+	// rather than a per-call map: this runs in trial setup for every cell
+	// of the campaign matrix, and the map allocation dominated its cost.
+	excluded := func(cand int64) bool {
+		if cand == mem.LineAddr(target) {
+			return true
+		}
+		for _, a := range avoid {
+			if cand == mem.LineAddr(a) {
+				return true
+			}
+		}
+		return false
 	}
 	wantSet := mem.SetIndex(target, h.cfg.LLC.Sets)
 	wantSlice := mem.SliceIndex(target, h.cfg.LLCSlices)
 	var out []int64
 	for cand := mem.LineAddr(startHint); len(out) < n; cand += mem.LineBytes {
-		if excl[cand] {
-			continue
-		}
 		if mem.SetIndex(cand, h.cfg.LLC.Sets) == wantSet &&
-			mem.SliceIndex(cand, h.cfg.LLCSlices) == wantSlice {
+			mem.SliceIndex(cand, h.cfg.LLCSlices) == wantSlice &&
+			!excluded(cand) {
 			out = append(out, cand)
 		}
 	}

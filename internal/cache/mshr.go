@@ -1,6 +1,10 @@
 package cache
 
-import "specinterference/internal/mem"
+import (
+	"math"
+
+	"specinterference/internal/mem"
+)
 
 // MSHRFile models a file of miss-status holding registers. Each entry
 // tracks one outstanding cache-line miss; same-line misses coalesce into
@@ -88,6 +92,20 @@ func (f *MSHRFile) Allocate(addr, ready, now int64) bool {
 	f.entries = append(f.entries, mshrEntry{line: line, ready: ready})
 	f.allocs++
 	return true
+}
+
+// NextReady returns the earliest cycle strictly after now at which an
+// outstanding entry's fill completes (freeing its slot for retrying
+// loads), or math.MaxInt64 when nothing is pending. It mutates nothing —
+// idle-cycle fast-forward (uarch.System) polls it between ticks.
+func (f *MSHRFile) NextReady(now int64) int64 {
+	next := int64(math.MaxInt64)
+	for _, e := range f.entries {
+		if e.ready > now && e.ready < next {
+			next = e.ready
+		}
+	}
+	return next
 }
 
 // Clear empties the file (used when resetting a system between trials).

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"specinterference/internal/runner"
-	"specinterference/internal/schemes"
 )
 
 // MatrixCell is one entry of the Table 1 vulnerability matrix.
@@ -52,7 +51,7 @@ func Classify(schemeName string, g Gadget, ord Ordering) (MatrixCell, error) {
 	// consecutive results from one TrialState alias each other, so the
 	// *TrialResult itself must not outlive the call.
 	run := func(secret int, refCycle int64) (sig string, secretCycle int64, err error) {
-		policy, err := schemes.ByName(schemeName)
+		policy, err := ts.Policy(schemeName)
 		if err != nil {
 			return "", 0, err
 		}

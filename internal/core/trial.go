@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -85,6 +86,14 @@ type TrialResult struct {
 	// System is the post-run machine, for receivers that keep probing the
 	// same hierarchy (the PoCs) and for white-box tests.
 	System *uarch.System
+	// sigBuf is Signature's scratch buffer, reused across trials on a
+	// TrialState so the steady-state matrix loop formats signatures without
+	// growing a fresh buffer per call. sigMemo holds the last few returned
+	// strings: classification replays the same two secrets over and over, so
+	// steady-state Signature calls hit the memo and allocate nothing.
+	sigBuf  []byte
+	sigMemo [4]string
+	sigNext int
 }
 
 type recordSink struct{ recs []uarch.InstRecord }
@@ -299,10 +308,25 @@ func RunTrial(spec TrialSpec) (*TrialResult, error) {
 
 // Signature renders the order of probe events without timing — the view
 // the §5.1 attacker model grants (the sequence of visible LLC accesses).
+// The format is the committed-baseline one ("c%d:%#x;" per event); lines
+// are nonnegative, so AppendInt-with-0x-prefix matches %#x byte for byte.
 func (r *TrialResult) Signature() string {
-	s := ""
+	buf := r.sigBuf[:0]
 	for _, e := range r.Events {
-		s += fmt.Sprintf("c%d:%#x;", e.Core, e.Line)
+		buf = append(buf, 'c')
+		buf = strconv.AppendInt(buf, int64(e.Core), 10)
+		buf = append(buf, ':', '0', 'x')
+		buf = strconv.AppendInt(buf, e.Line, 16)
+		buf = append(buf, ';')
 	}
+	r.sigBuf = buf
+	for _, s := range r.sigMemo {
+		if s == string(buf) { // comparison only — no conversion alloc
+			return s
+		}
+	}
+	s := string(buf)
+	r.sigMemo[r.sigNext] = s
+	r.sigNext = (r.sigNext + 1) % len(r.sigMemo)
 	return s
 }

@@ -6,6 +6,7 @@ import (
 	"specinterference/internal/cache"
 	"specinterference/internal/isa"
 	"specinterference/internal/mem"
+	"specinterference/internal/schemes"
 	"specinterference/internal/uarch"
 )
 
@@ -48,6 +49,12 @@ type TrialState struct {
 
 	victims   []victimMemo
 	victimGen uint64
+
+	// policies memoizes schemes.ByName per state: constructing a scheme
+	// boxes it (and MuonTrap builds a filter cache), which the steady-state
+	// matrix loop would otherwise pay on every trial. Stateful policies are
+	// reset before each reuse — see TrialState.Policy.
+	policies []policyMemo
 
 	// PoC receiver memo: the QLRU receiver and its prime/probe programs
 	// depend only on the layout, geometry and PoC kind — all fixed for a
@@ -122,6 +129,35 @@ func (ts *TrialState) attackSystem(spec TrialSpec) (*uarch.System, Layout, *Vict
 	return ts.sys, ts.layout, v, nil
 }
 
+// policyMemo is one entry of TrialState's policy cache.
+type policyMemo struct {
+	name string
+	p    uarch.SpecPolicy
+}
+
+// Policy returns the named scheme policy, memoized on the state. A policy
+// implementing uarch.ResettablePolicy is reset to its just-constructed
+// state before every handout, so a memoized instance behaves bit-
+// identically to a fresh schemes.ByName build; the remaining schemes are
+// stateless values, safe to reuse as-is.
+func (ts *TrialState) Policy(name string) (uarch.SpecPolicy, error) {
+	for i := range ts.policies {
+		if ts.policies[i].name == name {
+			p := ts.policies[i].p
+			if r, ok := p.(uarch.ResettablePolicy); ok {
+				r.ResetPolicy()
+			}
+			return p, nil
+		}
+	}
+	p, err := schemes.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	ts.policies = append(ts.policies, policyMemo{name: name, p: p})
+	return p, nil
+}
+
 // victim returns the assembled victim program for spec, consulting the
 // state's linear memo before the global (interface-boxing) cache. The
 // memo is dropped when the global cache generation changes, so a
@@ -179,6 +215,9 @@ func (ts *TrialState) Run(spec TrialSpec) (*TrialResult, error) {
 
 	ts.res = TrialResult{
 		Events:          ts.res.Events[:0],
+		sigBuf:          ts.res.sigBuf,
+		sigMemo:         ts.res.sigMemo,
+		sigNext:         ts.res.sigNext,
 		SecretLineCycle: -1,
 		VictimStats:     sys.Core(0).Stats(),
 		Records:         ts.sink.recs,

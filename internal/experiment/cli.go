@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"specinterference/internal/results"
@@ -65,9 +67,50 @@ func Main(cfg CLIConfig) {
 	storeDir := fs.String("store", "", "append a run record to this results-store directory")
 	progress := fs.Bool("progress", false, "report shard completion to stderr (for long sweeps; off by default)")
 	scale := fs.Int("scale", 1, "multiply the experiment's trial-style counts by N (larger sweeps now that shards span processes)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (analyze with `go tool pprof`)")
+	memProfile := fs.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	fs.Parse(os.Args[1:])
 	if fs.NArg() > 0 {
 		die(fmt.Errorf("unexpected arguments: %v", fs.Args()))
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			die(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			die(err)
+		}
+		// Main exits through die() on every error path, so profile teardown
+		// cannot rely on defers alone; die stops the profile before exiting.
+		stop := func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stop()
+		prevDie := die
+		die = func(err error) {
+			stop()
+			prevDie(err)
+		}
+	}
+	if *memProfile != "" {
+		prevDie, prof := die, *memProfile
+		writeHeap := func() error {
+			f, err := os.Create(prof)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live-heap picture before snapshotting
+			return pprof.WriteHeapProfile(f)
+		}
+		defer func() {
+			if err := writeHeap(); err != nil {
+				prevDie(err)
+			}
+		}()
 	}
 
 	spec, err := Lookup(cfg.Experiment)

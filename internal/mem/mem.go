@@ -3,7 +3,10 @@
 // throughout the simulator.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // LineBytes is the cache line size used by every cache level.
 const LineBytes = 64
@@ -11,47 +14,110 @@ const LineBytes = 64
 // LineShift is log2(LineBytes).
 const LineShift = 6
 
-// Memory is a sparse, word-granular physical memory. Addresses are byte
-// addresses; reads and writes operate on naturally-aligned 8-byte words
-// (unaligned accesses are truncated to their containing word, which is all
-// the ISA needs). Unwritten memory reads as zero.
+// pageWords is the number of 8-byte words per memory page (4KB pages).
+const pageWords = 512
+
+// pageShift is log2(pageWords), applied to word numbers.
+const pageShift = 9
+
+// page is one 4KB chunk of backing store. written marks the words ever
+// written, so Footprint and the O(footprint) Reset need no separate index.
+type page struct {
+	words   [pageWords]int64
+	written [pageWords / 64]uint64
+}
+
+// Memory is a sparse, word-granular physical memory backed by a paged
+// dense store: every load and store in the simulator lands here, so the
+// hot path is shift/mask indexing into a 4KB array rather than a map
+// probe. Addresses are byte addresses; reads and writes operate on
+// naturally-aligned 8-byte words (unaligned accesses are truncated to
+// their containing word, which is all the ISA needs). Unwritten memory
+// reads as zero.
 type Memory struct {
-	words map[int64]int64
+	pages map[int64]*page
+	// lastIdx/lastPage memoize the most recently touched page — trial
+	// working sets cluster, so nearly every access hits the memo.
+	lastIdx  int64
+	lastPage *page
+	// footprint counts distinct words ever written since the last Reset.
+	footprint int
 }
 
 // New returns an empty memory.
 func New() *Memory {
-	return &Memory{words: make(map[int64]int64)}
+	return &Memory{pages: make(map[int64]*page), lastIdx: -1 << 62}
 }
 
-// wordAddr truncates a byte address to its containing 8-byte word.
-func wordAddr(addr int64) int64 { return addr &^ 7 }
+// pageAt returns the page holding word number w, creating it if create is
+// set; otherwise it may return nil (unwritten memory).
+func (m *Memory) pageAt(w int64, create bool) *page {
+	idx := w >> pageShift
+	if idx == m.lastIdx {
+		return m.lastPage
+	}
+	p := m.pages[idx]
+	if p == nil {
+		if !create {
+			return nil
+		}
+		p = &page{}
+		m.pages[idx] = p
+	}
+	m.lastIdx, m.lastPage = idx, p
+	return p
+}
 
 // Read64 returns the word containing addr.
 func (m *Memory) Read64(addr int64) int64 {
-	return m.words[wordAddr(addr)]
+	w := addr >> 3
+	p := m.pageAt(w, false)
+	if p == nil {
+		return 0
+	}
+	return p.words[w&(pageWords-1)]
 }
 
 // Write64 stores v into the word containing addr.
 func (m *Memory) Write64(addr int64, v int64) {
-	m.words[wordAddr(addr)] = v
+	w := addr >> 3
+	p := m.pageAt(w, true)
+	off := w & (pageWords - 1)
+	p.words[off] = v
+	if bit := uint64(1) << uint(off&63); p.written[off>>6]&bit == 0 {
+		p.written[off>>6] |= bit
+		m.footprint++
+	}
 }
 
 // Footprint returns the number of distinct words ever written.
-func (m *Memory) Footprint() int { return len(m.words) }
+func (m *Memory) Footprint() int { return m.footprint }
 
 // Reset makes the memory observably identical to New() while keeping the
-// map's buckets, so steady-state reuse (internal/core.TrialState) pays no
-// allocation to start over.
-func (m *Memory) Reset() { clear(m.words) }
+// allocated pages, so steady-state reuse (internal/core.TrialState) pays no
+// allocation to start over. Only words actually written are zeroed —
+// O(footprint), not O(capacity).
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		for i, w := range p.written {
+			for ; w != 0; w &= w - 1 {
+				p.words[i<<6|bits.TrailingZeros64(w)] = 0
+			}
+			p.written[i] = 0
+		}
+	}
+	m.footprint = 0
+}
 
 // Clone returns a deep copy; used by differential tests that need to run the
 // same initial state through two machines.
 func (m *Memory) Clone() *Memory {
 	c := New()
-	for a, v := range m.words {
-		c.words[a] = v
+	for idx, p := range m.pages {
+		cp := *p
+		c.pages[idx] = &cp
 	}
+	c.footprint = m.footprint
 	return c
 }
 

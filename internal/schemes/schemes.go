@@ -266,6 +266,11 @@ func (m *MuonTrap) OnSquash() { m.filter.InvalidateAll() }
 // Filter exposes the filter cache for tests.
 func (m *MuonTrap) Filter() *cache.Cache { return m.filter }
 
+// ResetPolicy implements uarch.ResettablePolicy: the filter returns to its
+// just-constructed state (all ways invalid, replacement metadata fresh), so
+// a memoized MuonTrap is indistinguishable from a NewMuonTrap build.
+func (m *MuonTrap) ResetPolicy() { m.filter.Reset() }
+
 // ---------------------------------------------------------------------------
 // Conditional Speculation
 

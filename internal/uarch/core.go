@@ -2,6 +2,7 @@ package uarch
 
 import (
 	"fmt"
+	"math"
 
 	"specinterference/internal/cache"
 	"specinterference/internal/emu"
@@ -38,17 +39,22 @@ type entry struct {
 	srcTag [2]int64
 	srcVal [2]int64
 
-	fetchCycle    int64
-	dispCycle     int64
-	issued        bool
-	issueCycle    int64
+	fetchCycle int64
+	dispCycle  int64
+	issued     bool
+	issueCycle int64
+	// rdyStamp/rdyOK/rdyGated memoize candidateReady for cycle rdyStamp-1:
+	// readiness is port-independent, so ports sharing a class reuse the
+	// verdict (the gate-stall stat still counts once per examining port).
+	rdyStamp      int64
+	rdyOK         bool
+	rdyGated      bool
 	execDoneAt    int64
 	completed     bool
 	completeCycle int64
 	destVal       int64
 	inRS          bool
 	port          int
-	robIdx        int // refreshed every cycle by the prefix pass
 
 	// branches
 	predTaken  bool
@@ -97,16 +103,64 @@ type fetched struct {
 	invisibleFetch bool
 }
 
-// prefix holds the per-cycle prefix scans over the ROB used for O(1)
-// shadow/safety queries. prefix[i] answers "does any entry OLDER than ROB
-// index i satisfy the predicate".
-type prefix struct {
-	unresolvedCB     []bool
-	incomplete       []bool
-	incompleteLoad   []bool
-	fence            []bool
-	storeAddrUnknown []bool
+// noSeq is the min() result of an empty seqSet: older than nothing.
+const noSeq = int64(math.MaxInt64)
+
+// seqSet tracks the seqs of in-flight entries satisfying one shadow/safety
+// predicate (unresolved branch, incomplete, fence, ...). Because dispatch
+// hands out strictly increasing seqs, add() is always an append and the
+// slice stays sorted; squash cuts a tail. The per-cycle prefix scan the
+// arrays replace asked "is any entry OLDER than e marked" — with sorted
+// seqs that is just min() < e.seq, so safety queries are O(1) and the
+// bookkeeping moves to the (much rarer) completion/retire/squash events.
+type seqSet struct {
+	seqs []int64
 }
+
+// add records seq, which must exceed every seq already present.
+func (s *seqSet) add(seq int64) { s.seqs = append(s.seqs, seq) }
+
+// remove drops seq if present.
+func (s *seqSet) remove(seq int64) {
+	lo, hi := 0, len(s.seqs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.seqs[mid] < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.seqs) && s.seqs[lo] == seq {
+		s.seqs = append(s.seqs[:lo], s.seqs[lo+1:]...)
+	}
+}
+
+// dropYoungerThan removes every seq greater than keep (squash).
+func (s *seqSet) dropYoungerThan(keep int64) {
+	lo, hi := 0, len(s.seqs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.seqs[mid] <= keep {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s.seqs = s.seqs[:lo]
+}
+
+// min returns the oldest tracked seq, or noSeq when empty.
+func (s *seqSet) min() int64 {
+	if len(s.seqs) == 0 {
+		return noSeq
+	}
+	return s.seqs[0]
+}
+
+func (s *seqSet) empty() bool { return len(s.seqs) == 0 }
+
+func (s *seqSet) clear() { s.seqs = s.seqs[:0] }
 
 // Core is one out-of-order core.
 type Core struct {
@@ -122,11 +176,23 @@ type Core struct {
 	// in-flight producer, or -1 when the value is architectural.
 	regMap [isa.NumRegs]int64
 
-	rob  []*entry
-	live map[int64]*entry
-	rs   []*entry
+	// rob holds the in-flight window in program order. Dispatch appends
+	// strictly increasing seqs, retire pops the front and squash cuts the
+	// tail, so the window is always seq-sorted (with gaps where squashes
+	// consumed seqs) and robEntry resolves a rename tag by binary search.
+	rob []*entry
+	rs  []*entry
+	// rsClass partitions the unified RS by execution class (same entries,
+	// same relative order), so issue visits only the candidates a port can
+	// serve instead of scanning the whole RS once per port.
+	rsClass [isa.NumClasses][]*entry
 	// memOrder lists in-flight loads and stores in program order.
 	memOrder []*entry
+	// waiting lists, in program order, the entries with at least one
+	// unresolved source tag — the only possible wakeup targets. broadcast
+	// scans it instead of the whole ROB; entries drop out the moment their
+	// last tag resolves (and at squash).
+	waiting []*entry
 
 	executing []*entry // issued, completion scheduled at execDoneAt
 	wbQueue   []*entry // execution done, waiting for a CDB slot
@@ -150,7 +216,30 @@ type Core struct {
 	redirectAt   int64
 	redirectPC   int
 
-	pref   prefix
+	// Shadow/safety trackers: the seqs of in-flight entries that are an
+	// unresolved conditional branch / not yet complete / an incomplete load /
+	// a fence / a store with unknown address. Maintained incrementally at
+	// dispatch, completion, retire and squash; safe() and candidateReady
+	// compare against their minimums instead of re-scanning the ROB.
+	unresolvedCB   seqSet
+	incomplete     seqSet
+	incompleteLoad seqSet
+	fenceSet       seqSet
+	storeAddrUnk   seqSet
+	// fbCondBr/fbLoads count conditional branches and loads sitting in the
+	// fetch buffer — the fetch-buffer half of fetchShadowed.
+	fbCondBr int
+	fbLoads  int
+
+	// portClasses[p] lists (deduplicated) the classes port p serves.
+	portClasses [][]isa.Class
+
+	// progressed records whether this core's last tick changed any machine
+	// state (beyond per-cycle stall counters). A cycle where no core
+	// progresses is provably idle and Run may fast-forward to the next
+	// scheduled event; see System.runUntil.
+	progressed bool
+
 	halted bool
 	paused bool
 
@@ -171,10 +260,19 @@ func newCore(id int, sys *System) *Core {
 		policy: Unprotected{},
 		bp:     NewBranchPred(sys.cfg.BPEntries),
 		halted: true,
-		live:   map[int64]*entry{},
 	}
 	c.euFreeAt = make([]int64, len(sys.cfg.Ports))
 	c.euBusy = make([]*entry, len(sys.cfg.Ports))
+	c.portClasses = make([][]isa.Class, len(sys.cfg.Ports))
+	for p := range sys.cfg.Ports {
+		var seen [isa.NumClasses]bool
+		for _, cls := range sys.cfg.Ports[p].Classes {
+			if !seen[cls] {
+				seen[cls] = true
+				c.portClasses[p] = append(c.portClasses[p], cls)
+			}
+		}
+	}
 	for i := range c.regMap {
 		c.regMap[i] = -1
 	}
@@ -206,6 +304,25 @@ func (c *Core) recycle(e *entry) {
 	c.freeEntries = append(c.freeEntries, e)
 }
 
+// robEntry returns the in-flight entry with the given seq, or nil. The ROB
+// is always seq-sorted (see the rob field), so this is a binary search,
+// replacing the seq→entry map the rename path used to probe.
+func (c *Core) robEntry(seq int64) *entry {
+	lo, hi := 0, len(c.rob)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.rob[mid].seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.rob) && c.rob[lo].seq == seq {
+		return c.rob[lo]
+	}
+	return nil
+}
+
 // truncEntries empties an entry queue keeping its capacity, nilling slots so
 // the backing array holds no stale pointers into the pool.
 func truncEntries(s []*entry) []*entry {
@@ -218,16 +335,25 @@ func truncEntries(s []*entry) []*entry {
 // clearPipeline recycles every in-flight entry and empties all pipeline
 // queues, retaining their storage.
 func (c *Core) clearPipeline() {
-	for _, e := range c.live {
+	for _, e := range c.rob {
 		c.recycle(e)
 	}
-	clear(c.live)
 	c.rob = truncEntries(c.rob)
 	c.rs = truncEntries(c.rs)
+	for cls := range c.rsClass {
+		c.rsClass[cls] = truncEntries(c.rsClass[cls])
+	}
 	c.memOrder = truncEntries(c.memOrder)
+	c.waiting = truncEntries(c.waiting)
 	c.executing = truncEntries(c.executing)
 	c.wbQueue = truncEntries(c.wbQueue)
 	c.fetchBuf = c.fetchBuf[:0]
+	c.unresolvedCB.clear()
+	c.incomplete.clear()
+	c.incompleteLoad.clear()
+	c.fenceSet.clear()
+	c.storeAddrUnk.clear()
+	c.fbCondBr, c.fbLoads = 0, 0
 	for i := range c.euFreeAt {
 		c.euFreeAt[i] = 0
 		c.euBusy[i] = nil
@@ -236,7 +362,7 @@ func (c *Core) clearPipeline() {
 
 // reset restores the core to the state newCore returns: no program, no
 // policy, architectural state zeroed, predictor fresh. Storage (queues,
-// entry pool, prefix arrays) is retained for reuse.
+// entry pool, tracker slices) is retained for reuse.
 func (c *Core) reset() {
 	c.clearPipeline()
 	c.prog = nil
@@ -341,11 +467,11 @@ func (s *System) LoadProgram(core int, prog *isa.Program, policy SpecPolicy) err
 func (c *Core) SetPaused(p bool) { c.paused = p }
 
 func (c *Core) tick(cycle int64) {
+	c.progressed = false
 	if c.halted || c.paused {
 		return
 	}
 	c.stats.Cycles++
-	c.computePrefix()
 	c.releaseRS()
 	c.lsuTick(cycle)
 	c.issue(cycle)
@@ -355,62 +481,22 @@ func (c *Core) tick(cycle int64) {
 	c.fetch(cycle)
 }
 
-// computePrefix refreshes the O(1) shadow/safety query arrays.
-func (c *Core) computePrefix() {
-	n := len(c.rob)
-	p := &c.pref
-	grow := func(s []bool) []bool {
-		if cap(s) < n+1 {
-			return make([]bool, n+1)
-		}
-		return s[:n+1]
-	}
-	p.unresolvedCB = grow(p.unresolvedCB)
-	p.incomplete = grow(p.incomplete)
-	p.incompleteLoad = grow(p.incompleteLoad)
-	p.fence = grow(p.fence)
-	p.storeAddrUnknown = grow(p.storeAddrUnknown)
-	ucb, inc, incL, fen, sau := false, false, false, false, false
-	for i, e := range c.rob {
-		e.robIdx = i
-		p.unresolvedCB[i] = ucb
-		p.incomplete[i] = inc
-		p.incompleteLoad[i] = incL
-		p.fence[i] = fen
-		p.storeAddrUnknown[i] = sau
-		if e.inst.IsCondBranch() && !e.completed {
-			ucb = true
-		}
-		if !e.completed {
-			inc = true
-		}
-		if e.isLoad() && !e.completed {
-			incL = true
-		}
-		if e.inst.Op == isa.Fence {
-			fen = true
-		}
-		if e.isStore() && !e.addrKnown {
-			sau = true
-		}
-	}
-	p.unresolvedCB[n] = ucb
-	p.incomplete[n] = inc
-	p.incompleteLoad[n] = incL
-	p.fence[n] = fen
-	p.storeAddrUnknown[n] = sau
-}
-
-// safe reports whether e is non-speculative under model, using the prefix
-// arrays computed this cycle.
+// safe reports whether e is non-speculative under model: no tracked entry
+// strictly older than e satisfies the model's shadow predicate. The
+// trackers are maintained at dispatch/completion/retire/squash time, so
+// this is a compare against a minimum, not a ROB scan. Within a tick the
+// trackers mutate only in writeback and later stages — after every safe()
+// consumer (releaseRS, lsuTick, issue) has run — so the values those
+// stages observe are exactly the cycle-start snapshot the old per-cycle
+// prefix scan produced.
 func (c *Core) safe(e *entry, model ShadowModel) bool {
 	switch model {
 	case ShadowSpectre:
-		return !c.pref.unresolvedCB[e.robIdx]
+		return c.unresolvedCB.min() >= e.seq
 	case ShadowSpectreTSO:
-		return !c.pref.unresolvedCB[e.robIdx] && !c.pref.incompleteLoad[e.robIdx]
+		return c.unresolvedCB.min() >= e.seq && c.incompleteLoad.min() >= e.seq
 	case ShadowFuturistic:
-		return !c.pref.incomplete[e.robIdx]
+		return c.incomplete.min() >= e.seq
 	default:
 		panic(fmt.Sprintf("uarch: unknown shadow model %d", model))
 	}
@@ -427,10 +513,13 @@ func (c *Core) releaseRS() {
 	for _, e := range c.rs {
 		if e.issued && c.safe(e, c.policy.Shadow()) {
 			e.inRS = false
+			c.removeFromClass(e)
+			c.progressed = true
 			continue
 		}
 		kept = append(kept, e)
 	}
+	nilTail(c.rs, len(kept))
 	c.rs = kept
 }
 
@@ -438,48 +527,80 @@ func (c *Core) releaseRS() {
 // issue
 
 // candidateReady reports whether e can issue this cycle (operands, gates).
+// The verdict is port-independent and its inputs (operands, trackers, the
+// policy's pure CanIssue) are immutable while issue() runs, so it is
+// memoized per entry per cycle; ports sharing a class reuse it. The
+// gate-stall stat still counts once per examining (port, candidate) pair:
+// a memoized gated verdict replays the increment on every visit.
 func (c *Core) candidateReady(e *entry, cycle int64) bool {
-	if e.issued || !e.srcsReady() {
+	if e.issued {
+		return false
+	}
+	if e.rdyStamp == cycle+1 {
+		if e.rdyGated {
+			c.stats.IssueGateStalls++
+		}
+		return e.rdyOK
+	}
+	e.rdyStamp = cycle + 1
+	e.rdyGated = false
+	e.rdyOK = c.readyCheck(e)
+	return e.rdyOK
+}
+
+// readyCheck is the uncached body of candidateReady.
+func (c *Core) readyCheck(e *entry) bool {
+	if !e.srcsReady() {
 		return false
 	}
 	// lfence semantics: nothing younger than an unretired fence issues.
-	if c.pref.fence[e.robIdx] {
+	if c.fenceSet.min() < e.seq {
 		return false
 	}
 	// Fence-defense gate.
 	if !c.policy.CanIssue(c.safe(e, c.policy.Shadow())) {
+		e.rdyGated = true
 		c.stats.IssueGateStalls++
 		return false
 	}
 	// Loads wait until every older store address is known (conservative
 	// disambiguation: this machine never replays on memory ordering).
-	if e.isLoad() && c.pref.storeAddrUnknown[e.robIdx] {
+	if e.isLoad() && c.storeAddrUnk.min() < e.seq {
 		return false
 	}
 	return true
 }
 
+// issue walks, for each port, the per-class lists of the classes it serves
+// — only real candidates, not the whole RS once per port. The visible
+// behavior of the old (port × full RS) scan is preserved exactly: best
+// selection is order-independent (seqs are unique, comparisons strict), and
+// IssueGateStalls still counts once per gated (port, candidate) pair per
+// cycle because every serving port visits the gated entry and candidateReady
+// replays the increment on memoized visits. Port class lists are deduped at
+// construction so no port visits a list twice.
 func (c *Core) issue(cycle int64) {
 	for p := range c.cfg.Ports {
-		port := &c.cfg.Ports[p]
 		var best *entry
-		for _, e := range c.rs {
-			if e.issued || !port.serves(e.class) {
-				continue
-			}
-			if !c.candidateReady(e, cycle) {
-				continue
-			}
-			if best == nil {
-				best = e
-				continue
-			}
-			if c.cfg.YoungestFirstIssue {
-				if e.seq > best.seq {
+		for _, cls := range c.portClasses[p] {
+			for _, e := range c.rsClass[cls] {
+				if e.issued {
+					continue
+				}
+				if !c.candidateReady(e, cycle) {
+					continue
+				}
+				if best == nil {
+					best = e
+					continue
+				}
+				if c.cfg.YoungestFirstIssue {
+					if e.seq > best.seq {
+						best = e
+					}
+				} else if e.seq < best.seq {
 					best = e
 				}
-			} else if e.seq < best.seq {
-				best = e
 			}
 		}
 		if best == nil {
@@ -505,6 +626,7 @@ func (c *Core) issue(cycle int64) {
 // preempt cancels busy's execution on port p and returns it to the ready
 // pool (it still holds its RS entry under HoldRSUntilSafe).
 func (c *Core) preempt(p int, busy *entry) {
+	c.progressed = true
 	busy.issued = false
 	busy.execDoneAt = 0
 	kept := c.executing[:0]
@@ -519,6 +641,7 @@ func (c *Core) preempt(p int, busy *entry) {
 }
 
 func (c *Core) issueTo(p int, e *entry, cycle int64) {
+	c.progressed = true
 	e.issued = true
 	e.issueCycle = cycle
 	e.port = p
@@ -581,7 +704,23 @@ func (c *Core) removeRS(e *entry) {
 	e.inRS = false
 	for i, x := range c.rs {
 		if x == e {
-			c.rs = append(c.rs[:i], c.rs[i+1:]...)
+			copy(c.rs[i:], c.rs[i+1:])
+			c.rs[len(c.rs)-1] = nil
+			c.rs = c.rs[:len(c.rs)-1]
+			break
+		}
+	}
+	c.removeFromClass(e)
+}
+
+// removeFromClass drops e from its per-class issue list.
+func (c *Core) removeFromClass(e *entry) {
+	l := c.rsClass[e.class]
+	for i, x := range l {
+		if x == e {
+			copy(l[i:], l[i+1:])
+			l[len(l)-1] = nil
+			c.rsClass[e.class] = l[:len(l)-1]
 			return
 		}
 	}
@@ -641,6 +780,10 @@ func (c *Core) writeback(cycle int64) {
 		}
 	}
 	c.executing = kept
+	if len(c.wbQueue) > 0 {
+		// CDBWidth >= 1, so a non-empty queue always completes something.
+		c.progressed = true
+	}
 
 	// CDB arbitration: by default finish-time then age; under
 	// AgePriorityArb strictly by age (advanced defense rule 2).
@@ -666,10 +809,15 @@ func (c *Core) writeback(cycle int64) {
 	for _, e := range c.wbQueue[:n] {
 		e.completed = true
 		e.completeCycle = cycle
+		c.incomplete.remove(e.seq)
+		if e.isLoad() {
+			c.incompleteLoad.remove(e.seq)
+		}
 		if e.inst.HasDst() {
 			c.broadcast(e)
 		}
 		if e.inst.IsCondBranch() {
+			c.unresolvedCB.remove(e.seq)
 			if e.predNext == stalledBranch {
 				// Ideal-defense mode: fetch waited at this branch; resume
 				// it at the resolved target. Nothing younger exists, so no
@@ -700,9 +848,14 @@ func (c *Core) writeback(cycle int64) {
 }
 
 // broadcast delivers e's result to every waiting consumer and computes
-// store addresses whose base register just arrived.
+// store addresses whose base register just arrived. Only entries with an
+// unresolved source tag can consume a broadcast, so the scan covers the
+// waiting list — compacting out consumers whose last tag just resolved —
+// rather than the whole ROB.
 func (c *Core) broadcast(e *entry) {
-	for _, o := range c.rob {
+	kept := c.waiting[:0]
+	for _, o := range c.waiting {
+		pending := false
 		for k := 0; k < o.nsrc; k++ {
 			if o.srcTag[k] == e.seq {
 				o.srcTag[k] = -1
@@ -710,9 +863,25 @@ func (c *Core) broadcast(e *entry) {
 				if o.isStore() && k == 0 && !o.addrKnown {
 					o.addr = o.srcVal[0] + o.inst.Imm
 					o.addrKnown = true
+					c.storeAddrUnk.remove(o.seq)
 				}
+			} else if o.srcTag[k] != -1 {
+				pending = true
 			}
 		}
+		if pending {
+			kept = append(kept, o)
+		}
+	}
+	nilTail(c.waiting, len(kept))
+	c.waiting = kept
+}
+
+// nilTail clears s[n:] so compacted entry queues hold no stale pointers
+// into the pool.
+func nilTail(s []*entry, n int) {
+	for i := n; i < len(s); i++ {
+		s[i] = nil
 	}
 }
 
@@ -740,13 +909,17 @@ func (c *Core) squash(br *entry, cycle int64) {
 	}
 	doomed := c.rob[cut:]
 	c.rob = c.rob[:cut]
+	c.unresolvedCB.dropYoungerThan(br.seq)
+	c.incomplete.dropYoungerThan(br.seq)
+	c.incompleteLoad.dropYoungerThan(br.seq)
+	c.fenceSet.dropYoungerThan(br.seq)
+	c.storeAddrUnk.dropYoungerThan(br.seq)
 	undo := false
 	if up, ok := c.policy.(UndoPolicy); ok {
 		undo = up.UndoSpeculativeFills()
 	}
 	for _, e := range doomed {
 		c.stats.SquashedInsts++
-		delete(c.live, e.seq)
 		if undo && e.isLoad() && !e.invisible && e.addrKnown &&
 			(e.mstate == memWalking || e.mstate == memDone) &&
 			e.level != cache.LevelL1 {
@@ -759,7 +932,11 @@ func (c *Core) squash(br *entry, cycle int64) {
 	}
 	isDoomed := func(e *entry) bool { return e.seq > br.seq }
 	c.rs = filterEntries(c.rs, isDoomed)
+	for cls := range c.rsClass {
+		c.rsClass[cls] = filterEntries(c.rsClass[cls], isDoomed)
+	}
 	c.memOrder = filterEntries(c.memOrder, isDoomed)
+	c.waiting = filterEntries(c.waiting, isDoomed)
 	c.executing = filterEntries(c.executing, isDoomed)
 	c.wbQueue = filterEntries(c.wbQueue, isDoomed)
 	for p := range c.euBusy {
@@ -787,6 +964,7 @@ func (c *Core) squash(br *entry, cycle int64) {
 	}
 	// Redirect the front end.
 	c.fetchBuf = c.fetchBuf[:0]
+	c.fbCondBr, c.fbLoads = 0, 0
 	c.ifPending = false
 	c.lastIFLine = -1
 	c.fetchOn = false
@@ -837,6 +1015,8 @@ func (c *Core) retire(cycle int64) {
 			c.sys.hier.AccessData(c.id, e.addr, cache.KindDataWrite, true, cycle)
 		case isa.Flush:
 			c.sys.hier.Flush(e.addr)
+		case isa.Fence:
+			c.fenceSet.remove(e.seq)
 		case isa.Halt:
 			c.halted = true
 		}
@@ -846,10 +1026,20 @@ func (c *Core) retire(cycle int64) {
 				c.regMap[e.inst.Dst] = -1
 			}
 		}
-		e.inRS = false
-		c.rs = filterEntries(c.rs, func(x *entry) bool { return x == e })
-		c.memOrder = filterEntries(c.memOrder, func(x *entry) bool { return x == e })
-		delete(c.live, e.seq)
+		if e.inRS {
+			c.removeRS(e)
+		}
+		if e.isLoad() || e.isStore() {
+			// Retirement is in order, so e is memOrder's front entry.
+			for i, x := range c.memOrder {
+				if x == e {
+					copy(c.memOrder[i:], c.memOrder[i+1:])
+					c.memOrder[len(c.memOrder)-1] = nil
+					c.memOrder = c.memOrder[:len(c.memOrder)-1]
+					break
+				}
+			}
+		}
 		popped++
 		c.stats.Retired++
 		if c.hook != nil {
@@ -865,6 +1055,7 @@ func (c *Core) retire(cycle int64) {
 	// One compaction per cycle keeps the ROB anchored at its backing array's
 	// base, so dispatch appends never reallocate in steady state.
 	if popped > 0 {
+		c.progressed = true
 		m := copy(c.rob, c.rob[popped:])
 		for i := m; i < m+popped; i++ {
 			c.rob[i] = nil
@@ -906,6 +1097,12 @@ func (c *Core) dispatch(cycle int64) {
 		}
 		nf := copy(c.fetchBuf, c.fetchBuf[1:])
 		c.fetchBuf = c.fetchBuf[:nf]
+		if f.inst.IsCondBranch() {
+			c.fbCondBr--
+		}
+		if f.inst.Op == isa.Load {
+			c.fbLoads--
+		}
 		e := c.newEntry()
 		e.seq, e.pc, e.inst = c.nextSeq, f.pc, f.inst
 		e.class = isa.OpClass(f.inst.Op)
@@ -920,11 +1117,14 @@ func (c *Core) dispatch(cycle int64) {
 			e.srcTag[k] = -1
 			if tag := c.regMap[srcs[k]]; tag == -1 {
 				e.srcVal[k] = c.archRegs[srcs[k]]
-			} else if prod, ok := c.live[tag]; ok && prod.completed {
+			} else if prod := c.robEntry(tag); prod != nil && prod.completed {
 				e.srcVal[k] = prod.destVal
 			} else {
 				e.srcTag[k] = tag
 			}
+		}
+		if !e.srcsReady() {
+			c.waiting = append(c.waiting, e)
 		}
 		if f.inst.HasDst() {
 			c.regMap[f.inst.Dst] = e.seq
@@ -936,16 +1136,30 @@ func (c *Core) dispatch(cycle int64) {
 		} else {
 			e.inRS = true
 			c.rs = append(c.rs, e)
+			c.rsClass[e.class] = append(c.rsClass[e.class], e)
+			c.incomplete.add(e.seq)
+			if e.inst.IsCondBranch() {
+				c.unresolvedCB.add(e.seq)
+			}
+			if e.isLoad() {
+				c.incompleteLoad.add(e.seq)
+			}
+		}
+		if e.inst.Op == isa.Fence {
+			c.fenceSet.add(e.seq)
 		}
 		if e.isStore() && e.srcTag[0] == -1 {
 			e.addr = e.srcVal[0] + e.inst.Imm
 			e.addrKnown = true
 		}
+		if e.isStore() && !e.addrKnown {
+			c.storeAddrUnk.add(e.seq)
+		}
 		if e.isLoad() || e.isStore() {
 			c.memOrder = append(c.memOrder, e)
 		}
 		c.rob = append(c.rob, e)
-		c.live[e.seq] = e
+		c.progressed = true
 	}
 }
 
@@ -953,31 +1167,30 @@ func (c *Core) dispatch(cycle int64) {
 // fetch
 
 // fetchShadowed reports whether an unresolved squash source (per the
-// policy's shadow model) is in flight ahead of the fetch PC.
+// policy's shadow model) is in flight ahead of the fetch PC. Unlike the
+// issue-side safety queries, this is a live view: the trackers and
+// fetch-buffer counters are updated at the mutation site, so a branch that
+// resolved earlier this same cycle already reads as resolved here.
 func (c *Core) fetchShadowed() bool {
-	model := c.policy.Shadow()
-	counts := func(in isa.Inst, completed bool) bool {
-		if completed {
-			return false
-		}
-		switch model {
-		case ShadowSpectre, ShadowSpectreTSO:
-			return in.IsCondBranch()
-		default:
-			return in.IsCondBranch() || in.Op == isa.Load
-		}
+	switch c.policy.Shadow() {
+	case ShadowSpectre, ShadowSpectreTSO:
+		return !c.unresolvedCB.empty() || c.fbCondBr > 0
+	default:
+		return !c.unresolvedCB.empty() || c.fbCondBr > 0 ||
+			!c.incompleteLoad.empty() || c.fbLoads > 0
 	}
-	for _, e := range c.rob {
-		if counts(e.inst, e.completed) {
-			return true
-		}
+}
+
+// pushFetched appends f to the fetch buffer, maintaining the shadow
+// counters fetchShadowed reads.
+func (c *Core) pushFetched(f fetched) {
+	if f.inst.IsCondBranch() {
+		c.fbCondBr++
 	}
-	for _, f := range c.fetchBuf {
-		if counts(f.inst, false) {
-			return true
-		}
+	if f.inst.Op == isa.Load {
+		c.fbLoads++
 	}
-	return false
+	c.fetchBuf = append(c.fetchBuf, f)
 }
 
 func (c *Core) fetch(cycle int64) {
@@ -985,6 +1198,7 @@ func (c *Core) fetch(cycle int64) {
 		c.redirectPend = false
 		c.fetchPC = c.redirectPC
 		c.fetchOn = true
+		c.progressed = true
 	}
 	if !c.fetchOn {
 		c.stats.FetchStallCycles++
@@ -1000,11 +1214,13 @@ func (c *Core) fetch(cycle int64) {
 			return
 		}
 		c.ifPending = false
+		c.progressed = true
 	}
 	fetchedAny := false
 	for n := 0; n < c.cfg.FetchWidth && len(c.fetchBuf) < c.cfg.FetchBufSize; n++ {
 		if c.fetchPC < 0 || c.fetchPC >= c.prog.Len() {
 			c.fetchOn = false
+			c.progressed = true
 			break
 		}
 		line := mem.LineAddr(c.prog.InstAddr(c.fetchPC))
@@ -1018,15 +1234,16 @@ func (c *Core) fetch(cycle int64) {
 			invisibleFetch: c.lastIFInvis}
 		c.stats.Fetched++
 		fetchedAny = true
+		c.progressed = true
 		switch {
 		case in.Op == isa.Halt:
 			f.predNext = c.fetchPC + 1
-			c.fetchBuf = append(c.fetchBuf, f)
+			c.pushFetched(f)
 			c.fetchOn = false
 			return
 		case in.Op == isa.Jmp:
 			f.predNext = in.Target
-			c.fetchBuf = append(c.fetchBuf, f)
+			c.pushFetched(f)
 			c.fetchPC = in.Target
 			return // fetch group ends at a taken control transfer
 		case in.IsCondBranch():
@@ -1035,7 +1252,7 @@ func (c *Core) fetch(cycle int64) {
 				// branch and resumes via a redirect when it resolves, so
 				// execution is bit-identical to its NoSpec counterpart.
 				f.predNext = stalledBranch
-				c.fetchBuf = append(c.fetchBuf, f)
+				c.pushFetched(f)
 				c.fetchOn = false
 				return
 			}
@@ -1050,12 +1267,12 @@ func (c *Core) fetch(cycle int64) {
 			} else {
 				f.predNext = c.fetchPC + 1
 			}
-			c.fetchBuf = append(c.fetchBuf, f)
+			c.pushFetched(f)
 			c.fetchPC = f.predNext
 			return
 		default:
 			f.predNext = c.fetchPC + 1
-			c.fetchBuf = append(c.fetchBuf, f)
+			c.pushFetched(f)
 			c.fetchPC++
 		}
 	}
@@ -1083,16 +1300,88 @@ func (c *Core) accessILine(line int64, cycle int64) bool {
 			// In-shadow hit proceeds without a replacement update.
 			c.lastIFLine = line
 			c.lastIFInvis = false
+			c.progressed = true
 			return true
 		}
 	}
 	resp := h.AccessInst(c.id, line, visible, cycle)
 	c.lastIFLine = line
 	c.lastIFInvis = !visible
+	c.progressed = true
 	if resp.Level == cache.LevelL1 {
 		return true
 	}
 	c.ifPending = true
 	c.ifReadyAt = resp.Ready
 	return false
+}
+
+// ---------------------------------------------------------------------------
+// idle-cycle fast-forward support
+
+// idleStats snapshots the stall counters a provably idle cycle still
+// increments; everything else in CoreStats only moves on progress cycles.
+type idleStats struct {
+	fetchStall, robStall, rsStall, gateStall, mshrRetries int64
+}
+
+func (c *Core) snapIdleStats() idleStats {
+	return idleStats{
+		fetchStall:  c.stats.FetchStallCycles,
+		robStall:    c.stats.ROBFullStallCycles,
+		rsStall:     c.stats.RSFullStallCycles,
+		gateStall:   c.stats.IssueGateStalls,
+		mshrRetries: c.stats.MSHRRetries,
+	}
+}
+
+// applyIdleCycles accounts n fast-forwarded cycles exactly as if the core
+// had re-run its last (idle) tick n more times: the per-cycle deltas that
+// tick produced — captured by comparing against the pre-tick snapshot —
+// are multiplied out. All other machine state is by construction unchanged
+// by an idle tick.
+func (c *Core) applyIdleCycles(n int64, pre idleStats) {
+	st := &c.stats
+	st.Cycles += n
+	st.FetchStallCycles += n * (st.FetchStallCycles - pre.fetchStall)
+	st.ROBFullStallCycles += n * (st.ROBFullStallCycles - pre.robStall)
+	st.RSFullStallCycles += n * (st.RSFullStallCycles - pre.rsStall)
+	st.IssueGateStalls += n * (st.IssueGateStalls - pre.gateStall)
+	st.MSHRRetries += n * (st.MSHRRetries - pre.mshrRetries)
+}
+
+// nextEventAfter returns the earliest cycle strictly after now at which
+// this core's tick could act differently than it just did: a pending
+// redirect or I-fetch completing, an execution or hierarchy walk
+// finishing, a busy execution unit freeing, or an outstanding MSHR entry
+// expiring (which unblocks full-file load retries). Everything else the
+// pipeline waits on — operand wakeups, safety-shadow clearing, fence
+// retirement, structural slots — is driven by one of these completions
+// and therefore happens on a cycle some prior tick made progress.
+func (c *Core) nextEventAfter(now int64) int64 {
+	next := noSeq
+	minTo := func(t int64) {
+		if t > now && t < next {
+			next = t
+		}
+	}
+	if c.redirectPend {
+		minTo(c.redirectAt)
+	}
+	if c.ifPending {
+		minTo(c.ifReadyAt)
+	}
+	for _, e := range c.executing {
+		minTo(e.execDoneAt)
+	}
+	for _, e := range c.memOrder {
+		if e.isLoad() && e.mstate == memWalking {
+			minTo(e.memReady)
+		}
+	}
+	for _, t := range c.euFreeAt {
+		minTo(t)
+	}
+	minTo(c.sys.hier.DMSHR(c.id).NextReady(now))
+	return next
 }

@@ -15,19 +15,30 @@ func (c *Core) lsuTick(cycle int64) {
 		case memRetry:
 			if e.issued {
 				c.attemptAccess(e, cycle)
+				// A still-retrying load is the one attempt that can leave the
+				// machine unchanged (forwarding store's data pending, or MSHR
+				// file full — the latter marks e invisible/wasL1Hit, but those
+				// writes are idempotent and cycle-independent, so replaying
+				// the attempt each skipped cycle reproduces them exactly).
+				if e.mstate != memRetry {
+					c.progressed = true
+				}
 			}
 		case memDelayed:
 			if c.safe(e, model) {
 				// Delay-on-Miss re-execution: the load is non-speculative
 				// now, so it performs a normal visible access.
+				c.progressed = true
 				c.startWalk(e, cycle, true)
 			}
 		case memWalking:
 			if e.memReady <= cycle {
+				c.progressed = true
 				c.finishLoad(e, cycle)
 			}
 		case memDone:
 			if e.invisible && !e.exposed && c.safe(e, model) {
+				c.progressed = true
 				c.exposeLoad(e, cycle)
 			}
 		}

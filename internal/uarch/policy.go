@@ -18,6 +18,35 @@
 //     fetch (GIRS).
 //
 // Invisible-speculation schemes and defenses plug in via SpecPolicy.
+//
+// # Performance architecture
+//
+// The simulator's hot loop is tick() on each core; everything on it is
+// organized around two invariants. First, dispatch hands out strictly
+// increasing sequence numbers and never reuses them, so the ROB is always
+// seq-sorted (binary-searchable for rename, tail-cuttable for squash) and
+// every "is any OLDER in-flight instruction X?" safety question reduces to
+// comparing against the minimum of a sorted seq slice. The per-predicate
+// seqSet trackers (unresolved branches, incomplete instructions and loads,
+// fences, unknown store addresses) are maintained at the rare mutation
+// events — dispatch, completion, retire, squash — so safe(), the fence
+// check and load disambiguation are O(1) per query instead of a per-cycle
+// ROB scan. Second, issue visits only plausible candidates: the unified RS
+// is mirrored into per-execution-class lists, each port walks just the
+// classes it serves, and the port-independent readiness verdict is
+// memoized per entry per cycle. Wakeup likewise scans only the entries
+// with an unresolved source tag (the waiting list), not the ROB.
+//
+// On top of the per-cycle work, System.Run skips provably idle cycles
+// entirely: when a tick changes nothing (no core sets its progressed
+// flag), the run jumps to the earliest scheduled event — redirect,
+// I-fetch or execution completion, hierarchy walk, EU free, MSHR fill —
+// multiplying out the per-cycle stall counters for exact stats.
+//
+// All of this is contractually timing-neutral: the optimizations change
+// how fast cycles are simulated, never what a cycle does. The committed
+// sim-cycles/op / sim-insts/op trajectory and the fast-forward on/off
+// equivalence test (TestFastForwardEquivalence) pin that contract in CI.
 package uarch
 
 import "fmt"
@@ -132,6 +161,16 @@ type LoadCtx struct {
 
 // SpecPolicy is an invisible-speculation scheme or defense. One instance is
 // attached per core (stateful policies keep per-core state).
+//
+// Purity contract: CanIssue and DecideLoad must be pure functions of their
+// arguments (plus policy construction parameters) — no hidden state, no
+// randomness, no dependence on call order or call count. The core relies on
+// this: issue memoizes each entry's readiness verdict (which embeds
+// CanIssue's answer) for the rest of the cycle, so a CanIssue that answered
+// differently on a repeat call would silently desynchronize ports. Policies
+// that do keep state (e.g. MuonTrap's filter cache) mutate it only through
+// the explicit notification hooks (FilterPolicy, UndoPolicy), which the
+// core invokes outside the memoized window.
 type SpecPolicy interface {
 	// Name identifies the scheme in reports.
 	Name() string
@@ -178,6 +217,15 @@ type FilterPolicy interface {
 	OnInvisibleFill(addr int64)
 	// OnSquash flushes speculative filter state.
 	OnSquash()
+}
+
+// ResettablePolicy is implemented by stateful policies whose internal
+// structures can be restored to their just-constructed state. Batch
+// harnesses memoize policy instances across trials and call ResetPolicy
+// before each reuse, so a recycled policy behaves bit-identically to a
+// fresh build.
+type ResettablePolicy interface {
+	ResetPolicy()
 }
 
 // Unprotected is the baseline machine: every load is visible, speculative

@@ -208,6 +208,12 @@ type System struct {
 	hier  *cache.Hierarchy
 	cores []*Core
 	cycle int64
+
+	// fastForward enables idle-cycle skipping in Run/RunUntilCoreHalts
+	// (on by default; see runUntil). snaps is the per-core stat snapshot
+	// buffer the skip accounting reuses.
+	fastForward bool
+	snaps       []idleStats
 }
 
 // NewSystem builds a system; every core starts halted with no program.
@@ -219,10 +225,11 @@ func NewSystem(cfg Config, m *mem.Memory) (*System, error) {
 		return nil, fmt.Errorf("uarch: nil memory")
 	}
 	h := cache.NewHierarchy(cfg.Cache)
-	s := &System{cfg: cfg, mem: m, hier: h}
+	s := &System{cfg: cfg, mem: m, hier: h, fastForward: true}
 	for i := 0; i < cfg.Cache.Cores; i++ {
 		s.cores = append(s.cores, newCore(i, s))
 	}
+	s.snaps = make([]idleStats, len(s.cores))
 	return s, nil
 }
 
@@ -283,16 +290,83 @@ func (s *System) AllHalted() bool {
 	return true
 }
 
+// SetFastForward enables or disables idle-cycle fast-forwarding in Run and
+// RunUntilCoreHalts (enabled by default). Both settings produce
+// bit-identical machines, stats, logs and cycle counts — the toggle exists
+// so the equivalence tests can prove exactly that. Step never skips.
+func (s *System) SetFastForward(on bool) { s.fastForward = on }
+
+// runUntil advances the system until done() holds or budget cycles elapse,
+// reporting whether done() held. It is cycle-for-cycle identical to
+// calling Step in a loop; the only difference is speed. When a whole tick
+// provably changed nothing (no core set progressed — per-cycle stall
+// counters excepted), every subsequent cycle up to the earliest pending
+// event must repeat it exactly, so the loop jumps the cycle counter there
+// and multiplies out the idle tick's stat deltas instead of grinding one
+// Go iteration per simulated cycle. With no pending event at all (a
+// non-halting deadlock), the remaining budget is consumed the same way.
+func (s *System) runUntil(budget int64, done func() bool) bool {
+	for budget > 0 {
+		if done() {
+			return true
+		}
+		idle := true
+		for i, c := range s.cores {
+			if !c.halted && !c.paused {
+				s.snaps[i] = c.snapIdleStats()
+			}
+			c.tick(s.cycle)
+			if c.progressed {
+				idle = false
+			}
+		}
+		now := s.cycle
+		s.cycle++
+		budget--
+		if !idle || !s.fastForward || budget == 0 {
+			continue
+		}
+		next := noSeq
+		active := false
+		for _, c := range s.cores {
+			if c.halted || c.paused {
+				continue
+			}
+			active = true
+			if t := c.nextEventAfter(now); t < next {
+				next = t
+			}
+		}
+		if !active {
+			continue
+		}
+		var skip int64
+		if next == noSeq {
+			skip = budget
+		} else if next > now+1 {
+			skip = next - now - 1
+			if skip > budget {
+				skip = budget
+			}
+		}
+		if skip <= 0 {
+			continue
+		}
+		for i, c := range s.cores {
+			if !c.halted && !c.paused {
+				c.applyIdleCycles(skip, s.snaps[i])
+			}
+		}
+		s.cycle += skip
+		budget -= skip
+	}
+	return done()
+}
+
 // Run steps until all cores halt or maxCycles elapse, returning an error in
 // the latter case.
 func (s *System) Run(maxCycles int64) error {
-	for i := int64(0); i < maxCycles; i++ {
-		if s.AllHalted() {
-			return nil
-		}
-		s.Step()
-	}
-	if s.AllHalted() {
+	if s.runUntil(maxCycles, s.AllHalted) {
 		return nil
 	}
 	return fmt.Errorf("uarch: %d cycles elapsed without all cores halting", maxCycles)
@@ -301,13 +375,7 @@ func (s *System) Run(maxCycles int64) error {
 // RunUntilCoreHalts steps until core i halts, for phase-structured
 // experiments where other cores are paused or already halted.
 func (s *System) RunUntilCoreHalts(i int, maxCycles int64) error {
-	for n := int64(0); n < maxCycles; n++ {
-		if s.cores[i].Halted() {
-			return nil
-		}
-		s.Step()
-	}
-	if s.cores[i].Halted() {
+	if s.runUntil(maxCycles, s.cores[i].Halted) {
 		return nil
 	}
 	return fmt.Errorf("uarch: core %d did not halt within %d cycles", i, maxCycles)

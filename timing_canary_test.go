@@ -1,0 +1,92 @@
+package specinterference
+
+import (
+	"testing"
+
+	"specinterference/internal/mem"
+	"specinterference/internal/schemes"
+	"specinterference/internal/uarch"
+	"specinterference/internal/workload"
+)
+
+// The committed timing of the mixed kernel on the default one-core machine:
+// the sim-cycles/op and sim-insts/op metrics blessed into
+// BENCH_SimulatorThroughput.json. The CPU-time optimizations of the
+// simulator (tracker-based safety queries, per-class issue lists, paged
+// memory, idle-cycle fast-forward) are contractually timing-neutral — they
+// change how fast the simulator runs, never what it simulates — so these
+// numbers must hold on every machine and at every optimization level.
+const (
+	mixedKernelCycles = 12634
+	mixedKernelInsts  = 12004
+)
+
+// runKernel executes the named kernel to completion on a fresh default
+// machine and returns the core's counters.
+func runKernel(t *testing.T, kernel string, policy uarch.SpecPolicy, fastForward bool) uarch.CoreStats {
+	t.Helper()
+	w, err := workload.ByName(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, setup := w.Build(1000)
+	m := mem.New()
+	setup(m)
+	sys, err := uarch.NewSystem(uarch.DefaultConfig(1), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFastForward(fastForward)
+	if err := sys.LoadProgram(0, prog, policy); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return sys.Core(0).Stats()
+}
+
+// TestTimingDeterminismCanary pins the simulated timing of the throughput
+// benchmark's kernel to the committed trajectory: any drift in Cycles or
+// Retired means a "performance" change altered simulated behavior, which
+// the bit-identical-timing contract forbids.
+func TestTimingDeterminismCanary(t *testing.T) {
+	st := runKernel(t, "mixed", nil, true)
+	if st.Cycles != mixedKernelCycles {
+		t.Errorf("mixed kernel simulated %d cycles, committed trajectory says %d", st.Cycles, mixedKernelCycles)
+	}
+	if st.Retired != mixedKernelInsts {
+		t.Errorf("mixed kernel retired %d insts, committed trajectory says %d", st.Retired, mixedKernelInsts)
+	}
+}
+
+// TestFastForwardEquivalence reruns every workload kernel — and the mixed
+// kernel under a gating defense, which exercises the idle-heavy issue-stall
+// path — with idle-cycle fast-forward disabled, and requires the full
+// counter set to match the fast-forwarded run exactly. Fast-forward may
+// only skip cycles it can prove change nothing.
+func TestFastForwardEquivalence(t *testing.T) {
+	kernels := []string{"pointer_chase", "stream", "compute", "branchy", "hash", "mixed"}
+	for _, k := range kernels {
+		ff := runKernel(t, k, nil, true)
+		slow := runKernel(t, k, nil, false)
+		if ff != slow {
+			t.Errorf("%s: stats diverge with fast-forward:\n  on:  %+v\n  off: %+v", k, ff, slow)
+		}
+	}
+	for _, scheme := range []string{"fence-spectre", "fence-futuristic", "dom", "invisispec-spectre"} {
+		pol, err := schemes.ByName(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ff := runKernel(t, "mixed", pol, true)
+		pol2, err := schemes.ByName(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := runKernel(t, "mixed", pol2, false)
+		if ff != slow {
+			t.Errorf("mixed under %s: stats diverge with fast-forward:\n  on:  %+v\n  off: %+v", scheme, ff, slow)
+		}
+	}
+}
