@@ -14,15 +14,16 @@
 //	resultstore baseline -dir DIR [-parallel N] [-backend B] [-procs N] [-listen ADDR] [-lease TTL] [-chunk N] [-journal DIR]
 //	resultstore bless    -baseline DIR [-store DIR] -reason STR
 //
-// A ref is "experiment" or "experiment@idx": figure7, table1, figure11 or
-// figure12, with an optional 0-based history index (negative counts from
-// the newest record; bare names mean the newest).
+// A ref is "experiment" or "experiment@idx": figure7, table1, figure11,
+// figure12 or concordance, with an optional 0-based history index
+// (negative counts from the newest record; bare names mean the newest).
 //
 // diff compares refA against refB within -store, or — given -baseline —
 // the baseline's newest record against the store's (old → new). Classes:
 // identical (signatures match; worker counts and other metadata never
 // matter), drift (numbers moved within thresholds), regression (a matrix
-// cell flipped vulnerable↔protected, channel accuracy dropped, the
+// cell flipped vulnerable↔protected, a concordance cell lost
+// detector/simulator agreement, channel accuracy dropped, the
 // interference separation collapsed, or defense overheads shifted), and
 // incomparable (parameters differ).
 //

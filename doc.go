@@ -25,7 +25,13 @@
 //     proof-of-concept attacks,
 //   - harnesses that regenerate every table and figure of the evaluation
 //     (Table 1; Figures 7, 8, 9, 10, 11a, 11b, 12),
-//   - a checker for the §5.1 "ideal invisible speculation" definition, and
+//   - a checker for the §5.1 "ideal invisible speculation" definition,
+//   - a SPECTECTOR-style static speculative-leak detector
+//     (internal/detect) that self-composes an abstract execution of each
+//     gadget under a scheme's speculation policy — per-branch ROB-bounded
+//     speculative windows, differential NPEU/MSHR/RS pressure, per-ordering
+//     visibility rules — and whose verdict must agree with the empirical
+//     Table 1 outcome for every cell (the concordance experiment), and
 //   - a unified experiment engine (internal/experiment) that runs every
 //     harness as sharded trials over pluggable execution backends.
 //
@@ -116,7 +122,7 @@
 // -store flag on vulnmatrix, covertbench, defensebench and interference,
 // or programmatically through OpenResultStore and the record
 // constructors (NewFigure7Record, NewTable1Record, NewFigure11Record,
-// NewFigure12Record).
+// NewFigure12Record, NewConcordanceRecord).
 //
 // Each record carries a canonical SHA-256 signature over its parameters
 // and payload; metadata is excluded, so two runs of the same experiment
@@ -124,7 +130,8 @@
 // machine or commit that produced them. DiffRunRecords classifies any
 // change between two comparable records as identical (signatures match),
 // drift (numbers moved within thresholds), or regression (a Table 1 cell
-// flipped vulnerable↔protected, a channel's error rate rose beyond
+// flipped vulnerable↔protected, a concordance cell lost
+// detector/simulator agreement, a channel's error rate rose beyond
 // threshold, the Figure 7 separation collapsed, or a defense slowdown
 // shifted wholesale); records at different parameters are incomparable.
 //

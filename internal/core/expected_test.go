@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"specinterference/internal/schemes"
+)
+
+// TestExpectedTable1Coverage is the drift guard between the committed
+// expectation map and the experiment axes it describes: ExpectedTable1's
+// keys must be exactly the (gadget, ordering) combos the matrix runs, and
+// every scheme name it mentions must be a registered scheme. A new combo,
+// a renamed scheme or a typo in the map trips this test instead of
+// silently shrinking Table 1's checked surface.
+func TestExpectedTable1Coverage(t *testing.T) {
+	expected := ExpectedTable1()
+
+	comboKeys := map[string]bool{}
+	for _, c := range Combos() {
+		k := key(c[0].(Gadget), c[1].(Ordering))
+		if comboKeys[k] {
+			t.Errorf("Combos() repeats %q", k)
+		}
+		comboKeys[k] = true
+	}
+
+	for k := range expected {
+		if !comboKeys[k] {
+			t.Errorf("ExpectedTable1 key %q is not a Combos() entry", k)
+		}
+	}
+	for k := range comboKeys {
+		if _, ok := expected[k]; !ok {
+			t.Errorf("Combos() entry %q has no ExpectedTable1 row", k)
+		}
+	}
+
+	registered := map[string]bool{}
+	for _, n := range schemes.Names() {
+		registered[n] = true
+	}
+	for k, set := range expected {
+		for name := range set {
+			if !registered[name] {
+				t.Errorf("ExpectedTable1[%q] names unregistered scheme %q", k, name)
+			}
+		}
+	}
+}

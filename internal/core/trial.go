@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -196,63 +195,36 @@ func NewAttackSystem(spec TrialSpec) (*uarch.System, Layout, *Victim, error) {
 	if err != nil {
 		return nil, Layout{}, nil, err
 	}
-	if err := prepareTrial(sys, l, v, spec); err != nil {
+	if err := prepareTrial(sys, v, spec); err != nil {
 		return nil, Layout{}, nil, err
 	}
 	return sys, l, v, nil
 }
 
 // prepareTrial sets up memory contents, cache priming, branch training and
-// victim registers for one trial.
-func prepareTrial(sys *uarch.System, l Layout, v *Victim, spec TrialSpec) error {
-	if spec.Secret != 0 && spec.Secret != 1 {
-		return fmt.Errorf("core: secret must be 0 or 1, got %d", spec.Secret)
+// victim registers for one trial by applying the victim's precomputed
+// PrimePlan (the same declarative ground truth the static leak detector
+// analyses), then training the branch and loading the program.
+func prepareTrial(sys *uarch.System, v *Victim, spec TrialSpec) error {
+	plan, err := v.PrimePlan(spec.Secret)
+	if err != nil {
+		return err
 	}
 	m := sys.Memory()
 	h := sys.Hierarchy()
-	p := spec.params()
 
-	// The out-of-bounds element T[i] holds the secret; N holds the bound.
-	m.Write64(l.TAddr+l.Index*8, int64(spec.Secret))
-	m.Write64(l.NAddr, 4)
-
-	// Victim code: warm every line except the secret-encoding target line,
-	// which must start cold.
-	for pc := 0; pc < v.Prog.Len(); pc++ {
-		line := mem.LineAddr(v.Prog.InstAddr(pc))
-		if line == v.TargetLine {
-			continue
+	for _, w := range plan.MemWrites {
+		m.Write64(w.Addr, w.Val)
+	}
+	for _, op := range plan.Ops {
+		switch op.Kind {
+		case PrimeWarmInst:
+			h.WarmInst(0, op.Addr, op.Level)
+		case PrimeWarmData:
+			h.Warm(0, op.Addr, op.Level)
+		case PrimeFlush:
+			h.Flush(op.Addr)
 		}
-		h.WarmInst(0, line, cache.LevelL1)
-	}
-	if v.TargetLine != 0 {
-		h.Flush(v.TargetLine)
-	}
-
-	// Data priming (§4.2.3 step 1 and the per-gadget setup of §3.2.2).
-	h.Flush(l.NAddr)
-	h.Flush(l.AAddr)
-	h.Flush(l.BAddr)
-	h.Flush(l.RefAddr)
-	for k := 0; k < p.MSHRLoads; k++ {
-		h.Flush(l.GadgetBase + int64(k)*mem.LineBytes)
-	}
-	h.Warm(0, l.ZAddr, cache.LevelLLC)
-	h.Warm(0, l.TAddr+l.Index*8, cache.LevelL1)
-	switch spec.Gadget {
-	case GadgetNPEU:
-		// Transmitter: S[64] hot (secret=1 hits), S[0] cold.
-		h.Flush(l.SBase)
-		h.Warm(0, l.SBase+64, cache.LevelL1)
-	case GadgetRS:
-		// Inverted per Figure 5: S[0] hot (secret=0 drains the RS),
-		// S[64] cold (secret=1 back-throttles the frontend).
-		h.Warm(0, l.SBase, cache.LevelL1)
-		h.Flush(l.SBase + 64)
-	case GadgetMSHR:
-		// The gadget loads must all miss; S is unused.
-		h.Flush(l.SBase)
-		h.Flush(l.SBase + 64)
 	}
 
 	// Mistrain the bounds-check branch toward taken.
@@ -262,14 +234,9 @@ func prepareTrial(sys *uarch.System, l Layout, v *Victim, spec TrialSpec) error 
 		return err
 	}
 	c := sys.Core(0)
-	c.SetReg(RegN, l.NAddr)
-	c.SetReg(RegZ, l.ZAddr)
-	c.SetReg(RegT, l.TAddr)
-	c.SetReg(RegS, l.SBase)
-	c.SetReg(RegABase, l.AAddr)
-	c.SetReg(RegBBase, l.BAddr)
-	c.SetReg(RegIdx, l.Index)
-	c.SetReg(RegZero, 0)
+	for _, r := range plan.Regs {
+		c.SetReg(r.Reg, r.Val)
+	}
 	return nil
 }
 

@@ -123,7 +123,7 @@ func (ts *TrialState) attackSystem(spec TrialSpec) (*uarch.System, Layout, *Vict
 	if err != nil {
 		return nil, Layout{}, nil, err
 	}
-	if err := prepareTrial(ts.sys, ts.layout, v, spec); err != nil {
+	if err := prepareTrial(ts.sys, v, spec); err != nil {
 		return nil, Layout{}, nil, err
 	}
 	return ts.sys, ts.layout, v, nil

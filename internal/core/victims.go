@@ -20,6 +20,11 @@ type Victim struct {
 	// the correct-path continuation for VI-AD NPEU/MSHR victims, or the
 	// wrong-path target function for the GIRS victim. Zero if unused.
 	TargetLine int64
+	// plans are the per-secret initial-state plans (see PrimePlan),
+	// precomputed by BuildVictim so the pooled trial loop and the static
+	// leak detector read one priming ground truth without per-trial
+	// allocation.
+	plans [2]*PrimePlan
 }
 
 // VictimParams tunes the gadget/target chain lengths. The defaults are
@@ -67,27 +72,40 @@ func DefaultVictimParams() VictimParams {
 }
 
 // BuildVictim generates the sender program for the given gadget and
-// ordering against the layout.
+// ordering against the layout, including the per-secret PrimePlans the
+// trial loop and the static leak detector both consume.
 func BuildVictim(g Gadget, ord Ordering, l Layout, p VictimParams) (*Victim, error) {
+	var v *Victim
+	var err error
 	switch g {
 	case GadgetNPEU:
 		if ord == OrderVIAD {
-			return buildNPEUorMSHRVIAD(g, l, p)
+			v, err = buildNPEUorMSHRVIAD(g, l, p)
+		} else {
+			v, err = buildNPEUVictim(l, p)
 		}
-		return buildNPEUVictim(l, p)
 	case GadgetMSHR:
 		if ord == OrderVIAD {
-			return buildNPEUorMSHRVIAD(g, l, p)
+			v, err = buildNPEUorMSHRVIAD(g, l, p)
+		} else {
+			v, err = buildMSHRVictim(l, p)
 		}
-		return buildMSHRVictim(l, p)
 	case GadgetRS:
 		if ord != OrderVIAD {
 			return nil, fmt.Errorf("core: GIRS only supports the VI-AD ordering (Table 1)")
 		}
-		return buildRSVictim(l, p)
+		v, err = buildRSVictim(l, p)
 	default:
 		return nil, fmt.Errorf("core: unknown gadget %d", int(g))
 	}
+	if err != nil {
+		return nil, err
+	}
+	v.plans = [2]*PrimePlan{
+		buildPrimePlan(g, l, p, v, 0),
+		buildPrimePlan(g, l, p, v, 1),
+	}
+	return v, nil
 }
 
 // zChainMuls sizes the z computation: the paper's "z = ... // takes Z

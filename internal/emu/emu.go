@@ -10,11 +10,20 @@
 package emu
 
 import (
+	"errors"
 	"fmt"
 
 	"specinterference/internal/isa"
 	"specinterference/internal/mem"
 )
+
+// ErrStepLimit is wrapped by Run's error when MaxSteps dynamic
+// instructions execute without reaching a halt. Callers distinguish it
+// with errors.Is: a step-limit run is not a verdict about the program —
+// the accompanying Result is a consistent prefix (see Run) — and analyses
+// built on the emulator (the NoSpec oracle, the static leak detector)
+// must surface it as an error rather than classify from the prefix.
+var ErrStepLimit = errors.New("step limit exceeded")
 
 // BranchRecord is the outcome of one dynamic conditional-branch execution.
 type BranchRecord struct {
@@ -64,7 +73,14 @@ func New(prog *isa.Program, m *mem.Memory) *Machine {
 // SetReg sets an initial register value.
 func (e *Machine) SetReg(r isa.Reg, v int64) { e.regs[r] = v }
 
-// Run executes the program from instruction 0 until halt or the step limit.
+// Run executes the program from instruction 0 until halt or the step
+// limit. On the step limit it returns BOTH a non-nil Result and a non-nil
+// error wrapping ErrStepLimit: the Result is the consistent prefix of the
+// aborted run — Regs is the register file after the last completed
+// instruction, InstCount counts exactly the executed instructions, and
+// Branches/LoadAddrs (when recording) list exactly the branches and loads
+// among them, in order. Out-of-range PCs and unimplemented opcodes return
+// a nil Result.
 func (e *Machine) Run() (*Result, error) {
 	max := e.MaxSteps
 	if max == 0 {
@@ -142,7 +158,7 @@ func (e *Machine) Run() (*Result, error) {
 		pc = next
 	}
 	res.Regs = e.regs
-	return res, fmt.Errorf("emu: step limit %d exceeded", max)
+	return res, fmt.Errorf("emu: %w after %d instructions", ErrStepLimit, max)
 }
 
 // BranchTaken evaluates a conditional branch condition. Shared with the

@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -148,6 +149,64 @@ func TestStepLimit(t *testing.T) {
 	}
 	if res.InstCount != 100 {
 		t.Errorf("InstCount = %d, want 100", res.InstCount)
+	}
+}
+
+// TestStepLimitPrefixConsistency pins the step-limit contract Run
+// documents: a deliberately non-halting program aborted at MaxSteps must
+// yield errors.Is(err, ErrStepLimit), Halted == false, and a Result whose
+// Regs/Branches/LoadAddrs are exactly the consistent prefix of the
+// aborted run — so callers (the NoSpec oracle, the static leak detector)
+// can reliably refuse to turn the prefix into a verdict.
+func TestStepLimitPrefixConsistency(t *testing.T) {
+	p := asm.MustAssemble(`
+    movi r1, 65536
+    movi r2, 0
+  loop:
+    load r3, 0(r1)
+    addi r2, r2, 1
+    blt r8, r2, loop
+    halt`)
+	m := mem.New()
+	m.Write64(65536, 7)
+	e := New(p, m)
+	e.MaxSteps = 11 // 2 movi + 3 full iterations: load,addi,blt ×3
+	e.RecordBranches = true
+	e.RecordLoads = true
+	res, err := e.Run()
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want errors.Is(_, ErrStepLimit)", err)
+	}
+	if res == nil {
+		t.Fatal("step-limit run must still return the prefix result")
+	}
+	if res.Halted {
+		t.Error("should not report halted")
+	}
+	if res.InstCount != 11 {
+		t.Errorf("InstCount = %d, want 11", res.InstCount)
+	}
+	if got := res.Regs[isa.R2]; got != 3 {
+		t.Errorf("r2 = %d, want 3 completed iterations", got)
+	}
+	if got := res.Regs[isa.R3]; got != 7 {
+		t.Errorf("r3 = %d, want 7 (last completed load)", got)
+	}
+	if len(res.LoadAddrs) != 3 {
+		t.Fatalf("LoadAddrs = %v, want exactly the 3 executed loads", res.LoadAddrs)
+	}
+	for i, a := range res.LoadAddrs {
+		if a != 65536 {
+			t.Errorf("LoadAddrs[%d] = %d, want 65536", i, a)
+		}
+	}
+	if len(res.Branches) != 3 {
+		t.Fatalf("Branches = %v, want exactly the 3 executed branches", res.Branches)
+	}
+	for i, b := range res.Branches {
+		if !b.Taken || b.PC != 4 {
+			t.Errorf("Branches[%d] = %+v, want taken loop branch at pc 4", i, b)
+		}
 	}
 }
 

@@ -42,7 +42,7 @@ func init() {
 }
 
 func TestRegistryNames(t *testing.T) {
-	want := []string{"figure11", "figure12", "figure7", "table1", "test-fail", "test-stderr"}
+	want := []string{"concordance", "figure11", "figure12", "figure7", "table1", "test-fail", "test-stderr"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("Names() = %v, want %v", got, want)
 	}

@@ -6,11 +6,12 @@ import (
 
 	"specinterference/internal/channel"
 	"specinterference/internal/core"
+	"specinterference/internal/detect"
 	"specinterference/internal/results"
 	"specinterference/internal/workload"
 )
 
-// The four paper-artifact specs. Each one decomposes its experiment into
+// The paper-artifact specs. Each one decomposes its experiment into
 // the exact shard grid the pre-engine harnesses used and reuses their
 // per-shard primitives and serial-order aggregators, so records produced
 // here carry the same canonical signatures as the committed baselines.
@@ -19,6 +20,7 @@ func init() {
 	Register(table1Spec())
 	Register(figure11Spec())
 	Register(figure12Spec())
+	Register(concordanceSpec())
 }
 
 // figure7Spec shards the §4.2.1 contention histogram one trial per shard:
@@ -70,6 +72,32 @@ func table1Spec() *Spec {
 				cells[i] = s.(core.MatrixCell)
 			}
 			return results.NewTable1Record(cells, p.Schemes)
+		},
+	}
+}
+
+// concordanceSpec shards the detector agreement grid one cell per
+// scheme×gadget×ordering combination, matching table1's cell order: each
+// shard runs both the empirical classification and the static analysis.
+func concordanceSpec() *Spec {
+	return &Spec{
+		Name: results.ExpConcordance,
+		Plan: func(p results.Params) (int, error) {
+			if len(p.Schemes) == 0 {
+				return 0, fmt.Errorf("experiment: concordance needs at least one scheme")
+			}
+			return detect.Shards(p.Schemes), nil
+		},
+		Run: func(_ context.Context, _ any, p results.Params, i int) (any, error) {
+			return detect.Shard(p.Schemes, i)
+		},
+		NewShard: func() any { return new(detect.Cell) },
+		Aggregate: func(p results.Params, shards []any) (*results.Record, error) {
+			cells := make([]detect.Cell, len(shards))
+			for i, s := range shards {
+				cells[i] = s.(detect.Cell)
+			}
+			return results.NewConcordanceRecord(cells, p.Schemes)
 		},
 	}
 }

@@ -305,6 +305,17 @@ func (in Inst) HasDst() bool {
 	return false
 }
 
+// Defs returns the register the instruction writes and whether it writes
+// one at all — the def half of static use/def walking (Uses is the use
+// half). It is HasDst expressed as data, so analyses can treat defs and
+// uses uniformly.
+func (in Inst) Defs() (Reg, bool) {
+	if in.HasDst() {
+		return in.Dst, true
+	}
+	return 0, false
+}
+
 // Uses returns the source registers read by the instruction. The second
 // return value counts how many of the two entries are meaningful.
 func (in Inst) Uses() (srcs [2]Reg, n int) {

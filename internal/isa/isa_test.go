@@ -252,3 +252,51 @@ func TestProgramString(t *testing.T) {
 		t.Errorf("Program.String() = %q", s)
 	}
 }
+
+func TestDefsMatchesHasDst(t *testing.T) {
+	for op := Nop; op < numOps; op++ {
+		in := Inst{Op: op, Dst: R5}
+		r, ok := in.Defs()
+		if ok != in.HasDst() {
+			t.Errorf("%s: Defs ok = %v, HasDst = %v", op, ok, in.HasDst())
+		}
+		if ok && r != R5 {
+			t.Errorf("%s: Defs reg = %s, want r5", op, r)
+		}
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	p := NewProgram([]Inst{
+		{Op: MovI, Dst: R1, Imm: 1},              // 0
+		{Op: Blt, Src1: R1, Src2: R2, Target: 4}, // 1
+		{Op: Jmp, Target: 0},                     // 2
+		{Op: Halt},                               // 3
+		{Op: Nop},                                // 4: last inst, no fall-through
+	})
+	cases := []struct {
+		pc   int
+		want []int
+	}{
+		{0, []int{1}},
+		{1, []int{2, 4}}, // fall-through first, then the taken target
+		{2, []int{0}},
+		{3, nil},
+		{4, nil},
+		{-1, nil},
+		{5, nil},
+	}
+	for _, c := range cases {
+		got := p.Successors(c.pc)
+		if len(got) != len(c.want) {
+			t.Errorf("Successors(%d) = %v, want %v", c.pc, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Successors(%d) = %v, want %v", c.pc, got, c.want)
+				break
+			}
+		}
+	}
+}

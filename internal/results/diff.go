@@ -134,6 +134,8 @@ func Diff(old, new *Record) *DiffReport {
 		diffFigure11(d, old.Figure11, new.Figure11)
 	case ExpFigure12:
 		diffFigure12(d, old.Figure12, new.Figure12)
+	case ExpConcordance:
+		diffConcordance(d, old.Concordance, new.Concordance)
 	default:
 		d.add(Incomparable, "unknown experiment %q", old.Experiment)
 	}
@@ -227,6 +229,60 @@ func vulnWord(v bool) string {
 		return "vulnerable"
 	}
 	return "protected"
+}
+
+func diffConcordance(d *DiffReport, old, new *ConcordancePayload) {
+	type cellKey struct{ scheme, gadget, ordering string }
+	index := func(p *ConcordancePayload) map[cellKey]ConcordanceCell {
+		m := make(map[cellKey]ConcordanceCell, len(p.Cells))
+		for _, c := range p.Cells {
+			m[cellKey{c.Scheme, c.Gadget, c.Ordering}] = c
+		}
+		return m
+	}
+	oldCells, newCells := index(old), index(new)
+	keys := make([]cellKey, 0, len(oldCells))
+	for k := range oldCells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.gadget != b.gadget {
+			return a.gadget < b.gadget
+		}
+		if a.ordering != b.ordering {
+			return a.ordering < b.ordering
+		}
+		return a.scheme < b.scheme
+	})
+	for _, k := range keys {
+		oc := oldCells[k]
+		nc, ok := newCells[k]
+		if !ok {
+			d.add(Incomparable, "cell %s/%s/%s missing from new record", k.scheme, k.gadget, k.ordering)
+			continue
+		}
+		switch {
+		// A verdict flip (on either side) or a lost agreement is a
+		// regression: the detector or the simulator changed its mind about
+		// a security property.
+		case oc.Detector != nc.Detector || oc.Empirical != nc.Empirical || oc.Match != nc.Match:
+			d.add(Regression, "cell %s/%s/%s changed: empirical %v→%v, detector %v→%v (match %v→%v)",
+				k.scheme, k.gadget, k.ordering,
+				oc.Empirical, nc.Empirical, oc.Detector, nc.Detector, oc.Match, nc.Match)
+		case oc.Mechanism != nc.Mechanism:
+			d.add(Drift, "cell %s/%s/%s mechanism %q → %q",
+				k.scheme, k.gadget, k.ordering, oc.Mechanism, nc.Mechanism)
+		case oc.Exception != nc.Exception:
+			d.add(Drift, "cell %s/%s/%s exception %q → %q",
+				k.scheme, k.gadget, k.ordering, oc.Exception, nc.Exception)
+		}
+	}
+	for k := range newCells {
+		if _, ok := oldCells[k]; !ok {
+			d.add(Incomparable, "cell %s/%s/%s missing from old record", k.scheme, k.gadget, k.ordering)
+		}
+	}
 }
 
 func diffFigure11(d *DiffReport, old, new *Figure11Payload) {

@@ -84,6 +84,8 @@ func TestGoldenTable1(t *testing.T)   { testGolden(t, ExpTable1) }
 func TestGoldenFigure11(t *testing.T) { testGolden(t, ExpFigure11) }
 func TestGoldenFigure12(t *testing.T) { testGolden(t, ExpFigure12) }
 
+func TestGoldenConcordance(t *testing.T) { testGolden(t, ExpConcordance) }
+
 // TestBaselineCurrent mirrors the CI `resultstore check` gate in-process:
 // every committed baseline record must diff as identical against a fresh
 // run of its experiment at its recorded parameters. Under -update the

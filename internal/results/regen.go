@@ -6,6 +6,7 @@ import (
 
 	"specinterference/internal/channel"
 	"specinterference/internal/core"
+	"specinterference/internal/detect"
 	"specinterference/internal/schemes"
 	"specinterference/internal/workload"
 )
@@ -24,6 +25,8 @@ func BaselineParams(experiment string) (Params, error) {
 		return Params{PoCs: []string{"dcache", "icache"}, Bits: 4, Reps: []int{1, 3}, Seed: 1}, nil
 	case ExpFigure12:
 		return Params{Iters: 120, Schemes: []string{"fence-spectre", "fence-futuristic"}}, nil
+	case ExpConcordance:
+		return Params{Schemes: schemes.Names()}, nil
 	default:
 		return Params{}, fmt.Errorf("results: unknown experiment %q", experiment)
 	}
@@ -73,6 +76,12 @@ func Regenerate(ctx context.Context, experiment string, p Params, workers int) (
 			return nil, err
 		}
 		return NewFigure12Record(res, p.Iters, p.Schemes)
+	case ExpConcordance:
+		cells, err := detect.Matrix(ctx, p.Schemes, workers)
+		if err != nil {
+			return nil, err
+		}
+		return NewConcordanceRecord(cells, p.Schemes)
 	default:
 		return nil, fmt.Errorf("results: unknown experiment %q", experiment)
 	}

@@ -26,6 +26,7 @@ import (
 
 	"specinterference/internal/channel"
 	"specinterference/internal/core"
+	"specinterference/internal/detect"
 	"specinterference/internal/workload"
 )
 
@@ -43,11 +44,14 @@ const (
 	ExpFigure11 = "figure11"
 	// ExpFigure12 is the defense-overhead sweep.
 	ExpFigure12 = "figure12"
+	// ExpConcordance is the static-detector-versus-simulator agreement
+	// grid over the Table 1 cells.
+	ExpConcordance = "concordance"
 )
 
 // Experiments lists every experiment name in canonical order.
 func Experiments() []string {
-	return []string{ExpFigure7, ExpTable1, ExpFigure11, ExpFigure12}
+	return []string{ExpFigure7, ExpTable1, ExpFigure11, ExpFigure12, ExpConcordance}
 }
 
 // Params are the experiment parameters that define comparability: two
@@ -159,6 +163,29 @@ type Figure12Payload struct {
 	Geomean map[string]float64 `json:"geomean"`
 }
 
+// ConcordanceCell is one static-versus-empirical comparison entry.
+type ConcordanceCell struct {
+	Scheme   string `json:"scheme"`
+	Gadget   string `json:"gadget"`
+	Ordering string `json:"ordering"`
+	// Empirical is the simulator's Table 1 classification.
+	Empirical bool `json:"empirical"`
+	// Detector is the static analysis verdict.
+	Detector bool `json:"detector"`
+	// Mechanism names the detector's decisive rule.
+	Mechanism string `json:"mechanism"`
+	// Match is Empirical == Detector.
+	Match bool `json:"match"`
+	// Exception explains an enumerated, allowed divergence (empty for
+	// concordant cells).
+	Exception string `json:"exception,omitempty"`
+}
+
+// ConcordancePayload is the full detector agreement grid.
+type ConcordancePayload struct {
+	Cells []ConcordanceCell `json:"cells"`
+}
+
 // Record is one persisted experiment run. Exactly one payload pointer is
 // non-nil, matching Experiment.
 type Record struct {
@@ -170,22 +197,24 @@ type Record struct {
 	// params, payload); see ComputeHash.
 	Hash string `json:"hash"`
 
-	Figure7  *Figure7Payload  `json:"figure7,omitempty"`
-	Table1   *Table1Payload   `json:"table1,omitempty"`
-	Figure11 *Figure11Payload `json:"figure11,omitempty"`
-	Figure12 *Figure12Payload `json:"figure12,omitempty"`
+	Figure7     *Figure7Payload     `json:"figure7,omitempty"`
+	Table1      *Table1Payload      `json:"table1,omitempty"`
+	Figure11    *Figure11Payload    `json:"figure11,omitempty"`
+	Figure12    *Figure12Payload    `json:"figure12,omitempty"`
+	Concordance *ConcordancePayload `json:"concordance,omitempty"`
 }
 
 // canonicalView is what the signature covers: everything that defines the
 // run's outcome, nothing volatile (Meta, and the Hash itself).
 type canonicalView struct {
-	Schema     int              `json:"schema"`
-	Experiment string           `json:"experiment"`
-	Params     Params           `json:"params"`
-	Figure7    *Figure7Payload  `json:"figure7,omitempty"`
-	Table1     *Table1Payload   `json:"table1,omitempty"`
-	Figure11   *Figure11Payload `json:"figure11,omitempty"`
-	Figure12   *Figure12Payload `json:"figure12,omitempty"`
+	Schema      int                 `json:"schema"`
+	Experiment  string              `json:"experiment"`
+	Params      Params              `json:"params"`
+	Figure7     *Figure7Payload     `json:"figure7,omitempty"`
+	Table1      *Table1Payload      `json:"table1,omitempty"`
+	Figure11    *Figure11Payload    `json:"figure11,omitempty"`
+	Figure12    *Figure12Payload    `json:"figure12,omitempty"`
+	Concordance *ConcordancePayload `json:"concordance,omitempty"`
 }
 
 // CanonicalJSON renders the signature-covered view of the record. The
@@ -197,6 +226,7 @@ func (r *Record) CanonicalJSON() ([]byte, error) {
 		Schema: r.Schema, Experiment: r.Experiment, Params: r.Params,
 		Figure7: r.Figure7, Table1: r.Table1,
 		Figure11: r.Figure11, Figure12: r.Figure12,
+		Concordance: r.Concordance,
 	})
 }
 
@@ -234,6 +264,7 @@ func (r *Record) Validate() error {
 		{ExpTable1, r.Table1 != nil},
 		{ExpFigure11, r.Figure11 != nil},
 		{ExpFigure12, r.Figure12 != nil},
+		{ExpConcordance, r.Concordance != nil},
 	} {
 		if p.present {
 			want++
@@ -294,6 +325,30 @@ func NewTable1Record(cells []core.MatrixCell, schemeNames []string) (*Record, er
 		Experiment: ExpTable1,
 		Params:     Params{Schemes: append([]string(nil), schemeNames...)},
 		Table1:     p,
+	}
+	return r.seal()
+}
+
+// NewConcordanceRecord wraps a detector-versus-simulator agreement grid.
+// It refuses to seal a record containing an unexplained mismatch: a
+// divergence must be fixed in the detector or enumerated as an exception
+// before it can become a committed result.
+func NewConcordanceRecord(cells []detect.Cell, schemeNames []string) (*Record, error) {
+	if err := detect.CheckCells(cells); err != nil {
+		return nil, err
+	}
+	p := &ConcordancePayload{Cells: make([]ConcordanceCell, 0, len(cells))}
+	for _, c := range cells {
+		p.Cells = append(p.Cells, ConcordanceCell{
+			Scheme: c.Scheme, Gadget: c.Gadget.String(), Ordering: c.Ordering.String(),
+			Empirical: c.Empirical, Detector: c.Detector,
+			Mechanism: c.Mechanism, Match: c.Match, Exception: c.Exception,
+		})
+	}
+	r := &Record{
+		Experiment:  ExpConcordance,
+		Params:      Params{Schemes: append([]string(nil), schemeNames...)},
+		Concordance: p,
 	}
 	return r.seal()
 }

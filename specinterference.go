@@ -8,6 +8,7 @@ import (
 	"specinterference/internal/cache"
 	"specinterference/internal/channel"
 	"specinterference/internal/core"
+	"specinterference/internal/detect"
 	"specinterference/internal/emu"
 	"specinterference/internal/experiment"
 	"specinterference/internal/experiment/remote"
@@ -217,6 +218,49 @@ func DefenseOverheadParallel(ctx context.Context, iters int, schemeNames []strin
 	return workload.EvaluateContext(ctx, cfg)
 }
 
+// Static leak-detector types (see internal/detect): a SPECTECTOR-style
+// abstract analysis that decides leak/no-leak per Table 1 cell without
+// running the cycle-level simulator.
+type (
+	// LeakVerdict is the detector's decision plus the decisive mechanism.
+	LeakVerdict = detect.Verdict
+	// LeakReport is one self-composed analysis: policy facts and the
+	// per-branch paired speculative windows.
+	LeakReport = detect.Report
+	// LeakEnv is the initial abstract state for one secret value.
+	LeakEnv = detect.Env
+	// ConcordanceCell pairs the static verdict with the empirical
+	// simulator classification for one Table 1 cell.
+	ConcordanceCell = detect.Cell
+)
+
+// AnalyzeLeak self-composes a program under a policy across two secret
+// environments with the attack machine's capacities (ROB, RS, MSHRs) and
+// returns the paired speculative windows and differential-pressure
+// signals.
+func AnalyzeLeak(p *Program, policy SpecPolicy, envs [2]LeakEnv) (*LeakReport, error) {
+	return detect.Analyze(p, policy, envs, detect.DefaultParams())
+}
+
+// DetectLeak statically analyzes one Table 1 cell: the named scheme
+// attacked with the given gadget and ordering, on the exact victim
+// program and priming state the empirical harness uses.
+func DetectLeak(schemeName string, g Gadget, ord Ordering) (LeakVerdict, error) {
+	return detect.CellVerdict(schemeName, g, ord)
+}
+
+// ConcordanceMatrix runs the full static-versus-empirical agreement grid
+// (workers 0 = one per CPU) and fails on any unexplained mismatch.
+func ConcordanceMatrix(ctx context.Context, schemeNames []string, workers int) ([]ConcordanceCell, error) {
+	return detect.Matrix(ctx, schemeNames, workers)
+}
+
+// NewConcordanceRecord wraps a detector agreement grid as a sealed run
+// record, refusing unexplained mismatches.
+func NewConcordanceRecord(cells []ConcordanceCell, schemeNames []string) (*RunRecord, error) {
+	return results.NewConcordanceRecord(cells, schemeNames)
+}
+
 // CheckIdealInvisibleSpeculation verifies the §5.1 definition for a
 // program under a scheme: C(E) = C(NoSpec(E)).
 func CheckIdealInvisibleSpeculation(spec security.RunSpec) (*SecurityReport, error) {
@@ -268,10 +312,11 @@ const (
 
 // Experiment names accepted by the results store.
 const (
-	ExpFigure7  = results.ExpFigure7
-	ExpTable1   = results.ExpTable1
-	ExpFigure11 = results.ExpFigure11
-	ExpFigure12 = results.ExpFigure12
+	ExpFigure7     = results.ExpFigure7
+	ExpTable1      = results.ExpTable1
+	ExpFigure11    = results.ExpFigure11
+	ExpFigure12    = results.ExpFigure12
+	ExpConcordance = results.ExpConcordance
 )
 
 // OpenResultStore opens (creating if needed) a results store directory.
