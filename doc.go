@@ -33,7 +33,11 @@
 //     visibility rules — and whose verdict must agree with the empirical
 //     Table 1 outcome for every cell (the concordance experiment), and
 //   - a unified experiment engine (internal/experiment) that runs every
-//     harness as sharded trials over pluggable execution backends.
+//     harness as sharded trials over pluggable execution backends, and
+//   - a contract-enforcement lint suite (internal/lint, cmd/speclint)
+//     that statically checks the repo's determinism, policy-purity,
+//     alloc-free and lock-discipline contracts in CI, ahead of the
+//     dynamic gates that check the same properties at run time.
 //
 // # Experiment engine and backends
 //

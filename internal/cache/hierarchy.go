@@ -284,6 +284,8 @@ func (h *Hierarchy) fillLLC(addr int64) {
 // When visible is false, no cache state anywhere changes and nothing is
 // logged (the data still flows to the core: an "invisible" request in the
 // sense of InvisiSpec/SafeSpec).
+//
+//speclint:allocfree
 func (h *Hierarchy) access(core int, l1 *Cache, addr int64, kind AccessKind, visible bool, cycle int64) Response {
 	t := cycle + int64(l1.Latency())
 	if visible {
@@ -339,11 +341,15 @@ func (h *Hierarchy) access(core int, l1 *Cache, addr int64, kind AccessKind, vis
 
 // AccessData performs a data access for core at cycle. Invisible accesses
 // change no cache state (they model protected speculative loads).
+//
+//speclint:allocfree
 func (h *Hierarchy) AccessData(core int, addr int64, kind AccessKind, visible bool, cycle int64) Response {
 	return h.access(core, h.l1d[core], addr, kind, visible, cycle)
 }
 
 // AccessInst performs an instruction fetch for core at cycle.
+//
+//speclint:allocfree
 func (h *Hierarchy) AccessInst(core int, addr int64, visible bool, cycle int64) Response {
 	return h.access(core, h.l1i[core], addr, KindInstFetch, visible, cycle)
 }

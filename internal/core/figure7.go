@@ -69,6 +69,8 @@ func Figure7Shards(trials int) (int, error) {
 // seedBase + 2*trial + secret, the exact sequence the original serial
 // loop produced. It is a pure function of its arguments, which is what
 // lets shards run on any backend (goroutine or subprocess) in any order.
+//
+//speclint:allocfree
 func Figure7Shard(trials, jitter int, seedBase uint64, j int) (float64, error) {
 	secret, i := j/trials, j%trials
 	ts := AcquireTrialState()
@@ -95,6 +97,8 @@ func BuildFigure7Result(baseline, interference []float64) *Figure7Result {
 // measureTargetLatency runs one traced GDNPEU trial on ts (the latency
 // scalars are extracted before ts is reused) and returns the target
 // latency: first f-chain sqrt issue to load A completion.
+//
+//speclint:allocfree
 func measureTargetLatency(ts *TrialState, secret, jitter int, seed uint64) (float64, error) {
 	r, err := ts.Run(TrialSpec{
 		Gadget: GadgetNPEU, Ordering: OrderVDVD,

@@ -42,6 +42,8 @@ func Combos() [][2]interface{} {
 // attacker's reference cycle from two solo runs (the paper's attacker
 // issues its access "at a fixed time after inducing the mis-speculation"),
 // then replays both secrets with the cross-core reference injected.
+//
+//speclint:allocfree
 func Classify(schemeName string, g Gadget, ord Ordering) (MatrixCell, error) {
 	ts := AcquireTrialState()
 	defer ReleaseTrialState(ts)
@@ -139,6 +141,8 @@ func MatrixShards(schemeNames []string) int {
 // scheme j%len(schemes) — the serial loop's cell order. Classification is
 // seedless and each shard builds its own machine, so MatrixShard is a pure
 // function of (schemeNames, j) and runs identically on any backend.
+//
+//speclint:allocfree
 func MatrixShard(schemeNames []string, j int) (MatrixCell, error) {
 	combo := Combos()[j/len(schemeNames)]
 	name := schemeNames[j%len(schemeNames)]

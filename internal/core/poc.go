@@ -119,6 +119,8 @@ func (p *PoC) spec(secret int, seed uint64) (TrialSpec, error) {
 // on a pooled TrialState acquired per call, which keeps RunBit safe for
 // concurrent use on one shared PoC (the channel harness fans a single PoC
 // across its workers) while the steady-state bit loop stays off the heap.
+//
+//speclint:allocfree
 func (p *PoC) RunBit(secret int, seed uint64) (BitOutcome, error) {
 	spec, err := p.spec(secret, seed)
 	if err != nil {
@@ -136,6 +138,8 @@ func (p *PoC) RunBit(secret int, seed uint64) (BitOutcome, error) {
 
 // runReplacementStateBit is the Figure 9 flow: eviction-set init, prime,
 // mistrained victim, probe, decode.
+//
+//speclint:allocfree
 func (p *PoC) runReplacementStateBit(ts *TrialState, spec TrialSpec) (BitOutcome, error) {
 	sys, l, _, err := ts.attackSystem(spec)
 	if err != nil {
@@ -177,6 +181,8 @@ func (p *PoC) runReplacementStateBit(ts *TrialState, spec TrialSpec) (BitOutcome
 }
 
 // runICacheBit is the §4.3 flow: flush target, run victim, timed reload.
+//
+//speclint:allocfree
 func (p *PoC) runICacheBit(ts *TrialState, spec TrialSpec) (BitOutcome, error) {
 	sys, _, v, err := ts.attackSystem(spec)
 	if err != nil {

@@ -189,6 +189,8 @@ func (ts *TrialState) victim(spec TrialSpec) (*Victim, error) {
 // until the next Run on the same state and must not be retained past
 // ReleaseTrialState. Callers that keep results (or the post-run System)
 // should use RunTrial, which runs on a private, unpooled state.
+//
+//speclint:allocfree
 func (ts *TrialState) Run(spec TrialSpec) (*TrialResult, error) {
 	sys, l, v, err := ts.attackSystem(spec)
 	if err != nil {

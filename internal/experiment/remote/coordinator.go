@@ -106,35 +106,42 @@ type Coordinator struct {
 	onDone func()
 	now    func() time.Time
 
+	// Everything below mu is mutable run state; the "guarded by mu"
+	// comments are load-bearing — speclint's lockdiscipline analyzer
+	// enforces that annotated fields are only touched under the mutex or
+	// in functions marked //speclint:holds mu.
 	mu       sync.Mutex
-	pending  []experiment.Span      // unleased spans, FIFO
-	leases   map[string]*leaseState // outstanding grants
-	issued   map[string]experiment.Span
-	byWorker map[string]string        // worker name -> its latest lease id
-	cadence  map[string]time.Duration // worker name -> EWMA renew interval
+	pending  []experiment.Span          // unleased spans, FIFO; guarded by mu
+	leases   map[string]*leaseState     // outstanding grants; guarded by mu
+	issued   map[string]experiment.Span // guarded by mu
+	byWorker map[string]string          // worker name -> its latest lease id; guarded by mu
+	cadence  map[string]time.Duration   // worker name -> EWMA renew interval; guarded by mu
 	// throughput is each worker's accepted-shards-per-second EWMA; grant
 	// sizes scale with it, so fast machines get proportionally larger
 	// adaptive chunks. byWorker, cadence and throughput entries are
 	// pruned when the worker's last lease is swept, keeping a long-lived
 	// coordinator's maps bounded by the live worker set.
-	throughput map[string]float64
-	costEWMA   time.Duration // observed per-shard completion cost
-	nextID     int
+	throughput map[string]float64 // guarded by mu
+	costEWMA   time.Duration      // observed per-shard completion cost; guarded by mu
+	nextID     int                // guarded by mu
 	// Backup-execution counters, for the end-of-run summary and /stats:
 	// leases issued speculatively, shards whose first accepted result
 	// arrived under a backup lease, and byte-equal duplicates a backup
 	// streamed after the shard was already done.
-	backupsIssued int
-	backupsWon    int
-	backupsWasted int
-	done          []bool   // per-shard completion
-	values        []any    // decoded shard values, by index
-	raw           [][]byte // accepted result bytes, for the byte-equality assertion
-	remaining     int
-	replayed      int // shards restored from the journal at startup
-	journal       *journal
-	fatal         error
-	finished      chan struct{}
+	backupsIssued int      // guarded by mu
+	backupsWon    int      // guarded by mu
+	backupsWasted int      // guarded by mu
+	done          []bool   // per-shard completion; guarded by mu
+	values        []any    // decoded shard values, by index; guarded by mu
+	raw           [][]byte // accepted result bytes, for the byte-equality assertion; guarded by mu
+	remaining     int      // guarded by mu
+	replayed      int      // shards restored from the journal at startup; guarded by mu
+	journal       *journal // guarded by mu
+	fatal         error    // guarded by mu
+	// finished is closed exactly once (under mu) and waited on without
+	// it; channel close/receive has its own happens-before edge, so the
+	// field is deliberately not annotated.
+	finished chan struct{}
 }
 
 // newRunToken mints the per-run random token that scopes every lease,
@@ -154,6 +161,12 @@ func newRunToken() string {
 // params, replaying cfg.Journal first when one is configured. The
 // caller serves Handler() somewhere workers can reach, waits on
 // Finished, and Closes the coordinator when done with it.
+//
+// Construction-time exclusivity: the coordinator is not published to any
+// other goroutine until this returns, so guarded fields are written
+// without the mutex here (hence the holds annotation).
+//
+//speclint:holds mu
 func NewCoordinator(spec *experiment.Spec, p results.Params, n int, cfg Config) (*Coordinator, error) {
 	chunk := cfg.Chunk
 	fixed := chunk > 0
@@ -213,6 +226,10 @@ func NewCoordinator(spec *experiment.Spec, p results.Params, n int, cfg Config) 
 // same acceptance a live result gets, minus re-journaling. Any defect
 // (a failure line, an out-of-range index, undecodable bytes, two
 // entries for one shard that disagree) makes the whole journal corrupt.
+// Runs only inside NewCoordinator, before the coordinator is published
+// to any other goroutine.
+//
+//speclint:holds mu
 func (c *Coordinator) replayEntry(sl experiment.ShardLine) error {
 	if sl.Err != "" {
 		return fmt.Errorf("entry for shard %d records a failure; failures are never journaled", sl.Shard)
@@ -278,6 +295,8 @@ func (c *Coordinator) Values() ([]any, error) {
 // straggler posting garbage after the last shard landed must not close
 // finished twice or retroactively taint a completed run (its line is
 // still rejected by the caller). Callers hold mu.
+//
+//speclint:holds mu
 func (c *Coordinator) fail(err error) {
 	if c.fatal != nil || c.remaining == 0 {
 		return
@@ -291,7 +310,14 @@ func (c *Coordinator) fail(err error) {
 // queue for other workers — this is the crash tolerance and the work
 // stealing in one move. An expired worker's byWorker, cadence and
 // throughput entries go with it, so a long-lived coordinator's maps stay
-// bounded by the live worker set. Callers hold mu.
+// bounded by the live worker set. Expired leases are dropped in grant
+// order, not map-iteration order: the drop order decides where each
+// lease's undone remainder lands in the pending queue, and serving
+// requeued spans oldest-grant-first keeps the schedule reproducible
+// run to run (speclint's nondeterminism analyzer flags the unsorted
+// map-range form). Callers hold mu.
+//
+//speclint:holds mu
 func (c *Coordinator) sweepExpired() {
 	now := c.now()
 	var expired []*leaseState
@@ -300,6 +326,7 @@ func (c *Coordinator) sweepExpired() {
 			expired = append(expired, l)
 		}
 	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i].seq < expired[j].seq })
 	for _, l := range expired {
 		c.dropLease(l, true)
 	}
@@ -318,6 +345,8 @@ func (c *Coordinator) sweepExpired() {
 // estimates (the sweep path: the worker is presumed gone); the
 // abandoned-grant release path keeps them, since that worker is alive
 // and about to be granted more work. Callers hold mu.
+//
+//speclint:holds mu
 func (c *Coordinator) dropLease(l *leaseState, pruneWorker bool) {
 	delete(c.leases, l.id)
 	covered := false
@@ -355,6 +384,8 @@ func (c *Coordinator) dropLease(l *leaseState, pruneWorker bool) {
 // bounded to [TTL/2, TTL] (the floor keeps a worker renewing at the
 // standard TTL/3 tick safe through several slow beats), and only ever
 // moves re-issue timing, never result acceptance. Callers hold mu.
+//
+//speclint:holds mu
 func (c *Coordinator) reissueDeadline(l *leaseState) time.Time {
 	deadline := l.expires
 	if cad, ok := c.cadence[l.worker]; ok && l.worker != "" {
@@ -374,6 +405,8 @@ func (c *Coordinator) reissueDeadline(l *leaseState) time.Time {
 
 // requeueUndone pushes the contiguous not-done sub-spans of sp back onto
 // the pending queue. Callers hold mu.
+//
+//speclint:holds mu
 func (c *Coordinator) requeueUndone(sp experiment.Span) {
 	start := -1
 	for i := sp.Start; i <= sp.End; i++ {
@@ -393,6 +426,8 @@ func (c *Coordinator) requeueUndone(sp experiment.Span) {
 // targetChunk is the shards-per-grant size: the configured size when
 // pinned, otherwise adapted so one chunk costs about a quarter of the
 // lease TTL at the observed per-shard completion cost. Callers hold mu.
+//
+//speclint:holds mu
 func (c *Coordinator) targetChunk() int {
 	if c.fixed || c.costEWMA <= 0 {
 		return c.chunk
@@ -415,6 +450,8 @@ func (c *Coordinator) targetChunk() int {
 // it can't finish. Pinned -chunk, unknown workers and single-worker
 // fleets (no peer to compare against) all fall back to the global
 // target. Scheduling only, never values. Callers hold mu.
+//
+//speclint:holds mu
 func (c *Coordinator) targetChunkFor(worker string) int {
 	k := c.targetChunk()
 	if c.fixed || worker == "" || len(c.throughput) < 2 {
@@ -455,6 +492,8 @@ func (c *Coordinator) targetChunkFor(worker string) int {
 // lease's first accepted result merely anchors lastProgress (see
 // leaseState) — and a result from an already-expired lease carries no
 // usable timing. Callers hold mu.
+//
+//speclint:holds mu
 func (c *Coordinator) observeProgress(l *leaseState, now time.Time) {
 	if l == nil {
 		return
@@ -481,6 +520,8 @@ func (c *Coordinator) observeProgress(l *leaseState, now time.Time) {
 
 // undoneBounds is the tightest span covering sp's not-done shards;
 // ok is false when every shard of sp is complete. Callers hold mu.
+//
+//speclint:holds mu
 func (c *Coordinator) undoneBounds(sp experiment.Span) (experiment.Span, bool) {
 	lo, hi := -1, -1
 	for i := sp.Start; i < sp.End; i++ {
@@ -498,6 +539,8 @@ func (c *Coordinator) undoneBounds(sp experiment.Span) (experiment.Span, bool) {
 }
 
 // newLease mints and registers one grant. Callers hold mu.
+//
+//speclint:holds mu
 func (c *Coordinator) newLease(worker string, sp experiment.Span, now time.Time) *leaseState {
 	c.nextID++
 	l := &leaseState{
@@ -525,6 +568,8 @@ func (c *Coordinator) newLease(worker string, sp experiment.Span, now time.Time)
 // (neither a backed-up primary nor a live backup is a candidate), and an
 // anonymous requester gets nothing (the holder fence needs an identity).
 // Returns nil when no grant qualifies. Callers hold mu.
+//
+//speclint:holds mu
 func (c *Coordinator) grantBackup(worker string, now time.Time) *leaseState {
 	if worker == "" {
 		return nil

@@ -170,7 +170,7 @@ type localWorkers struct {
 	cmds   []*exec.Cmd
 	exited chan struct{} // closed when every worker exited (never, when none spawned)
 	mu     sync.Mutex
-	errs   []error
+	errs   []error // worker exit failures; guarded by mu
 	wg     sync.WaitGroup
 }
 

@@ -1,0 +1,368 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFree enforces the steady-state zero-allocation contract on
+// functions annotated //speclint:allocfree — the PR 6/8 hot set whose
+// allocs/op the bench gates pin at exactly zero. Inside an annotated
+// function (nested function literals included) it flags the constructs
+// that introduce allocations:
+//
+//   - make and new
+//   - append, unless it reuses its own destination (x = append(x, ...) or
+//     append into a prefix re-slice of the destination, the pool idiom)
+//   - non-constant string concatenation, and string<->[]byte/[]rune
+//     conversions (except string(b) compared directly with == / !=,
+//     which the compiler performs without allocating)
+//   - interface boxing at call sites: a non-constant, non-pointer-shaped
+//     concrete argument passed to an interface parameter
+//   - function literals that capture enclosing variables and escape
+//     (passed as an argument, returned, or stored into a non-local);
+//     non-capturing or locally-bound literals are fine
+//   - fmt calls, unless the call sits in a return statement or panic —
+//     error construction on the cold exit path is allowed, a Sprintf on
+//     the steady-state path is not
+//
+// The analyzer is deliberately construct-local: it does not chase calls
+// into unannotated functions (annotate the callee to extend the guarantee)
+// and it does not model escape analysis beyond the cases above. The
+// testing.AllocsPerRun pins remain the ground truth; this gate catches the
+// regression at compile time instead of bench time.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "functions annotated //speclint:allocfree must not contain alloc-introducing constructs",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range fileFuncs(f) {
+			if !annotationsOf(decl).allocFree {
+				continue
+			}
+			checkAllocFree(pass, info, decl)
+		}
+	}
+	return nil
+}
+
+func checkAllocFree(pass *Pass, info *types.Info, decl *ast.FuncDecl) {
+	// coldPaths collects the nodes exempt from the fmt/boxing rules:
+	// return statements and panic arguments (error-path construction).
+	cold := coldNodes(decl.Body)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkAllocCall(pass, info, x, cold)
+		case *ast.AssignStmt:
+			checkAllocAssign(pass, info, x)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isString(info.TypeOf(x)) && !isConstExpr(info, x) {
+				pass.Report(x.Pos(), "string concatenation allocates; build into a reused []byte (see TrialResult.Signature)")
+			}
+		case *ast.FuncLit:
+			checkEscapingClosure(pass, info, decl, x)
+		}
+		return true
+	})
+}
+
+// coldNodes returns the source intervals of return statements and panic
+// calls within body; fmt calls and boxing inside them are tolerated.
+type interval struct{ lo, hi token.Pos }
+
+func coldNodes(body *ast.BlockStmt) []interval {
+	var out []interval
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			out = append(out, interval{x.Pos(), x.End()})
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				out = append(out, interval{x.Pos(), x.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func inCold(cold []interval, pos token.Pos) bool {
+	for _, iv := range cold {
+		if pos >= iv.lo && pos < iv.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func checkAllocCall(pass *Pass, info *types.Info, call *ast.CallExpr, cold []interval) {
+	// Builtins: make / new. (append is handled at the assignment, where
+	// the destination is known; a bare `append` whose result is discarded
+	// or nested is flagged here.)
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make", "new":
+				pass.Report(call.Pos(), "%s allocates on the hot path; hoist the allocation into the pooled state (see TrialState)", b.Name())
+			}
+			return
+		}
+	}
+
+	// Conversions: string([]byte), []byte(string), string([]rune), ...
+	if conv, ok := stringConversion(info, call); ok {
+		if conv == "string" && comparedDirectly(info, call) {
+			return // string(b) == s compiles to an alloc-free comparison
+		}
+		pass.Report(call.Pos(), "%s conversion allocates; keep the value in its original representation on the hot path", conv)
+		return
+	}
+
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if !inCold(cold, call.Pos()) {
+			pass.Report(call.Pos(), "fmt.%s on the hot path allocates (boxing + formatting); use strconv.Append* into a reused buffer, or move it to the error return path", fn.Name())
+		}
+		return
+	}
+
+	// Interface boxing at the call site.
+	if !inCold(cold, call.Pos()) {
+		checkBoxing(pass, info, call)
+	}
+}
+
+// stringConversion classifies a call as a string<->[]byte/[]rune
+// conversion and returns the target type's name.
+func stringConversion(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return "", false
+	}
+	to, from := tv.Type, info.TypeOf(call.Args[0])
+	if from == nil {
+		return "", false
+	}
+	toStr, fromStr := isString(to), isString(from)
+	toSeq := isByteSlice(to) || isRuneSlice(to)
+	fromSeq := isByteSlice(from) || isRuneSlice(from)
+	switch {
+	case toStr && fromSeq:
+		return "string", true
+	case toSeq && fromStr:
+		return exprString(call.Fun), true
+	}
+	return "", false
+}
+
+func isRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// comparedDirectly reports whether a conversion expression is an operand
+// of == or != (the compiler's no-alloc comparison special case). The
+// check walks outward via position containment over the enclosing file's
+// binary expressions; go/ast has no parent links, so we detect the only
+// pattern the codebase uses: `if s == string(buf)`-style comparisons
+// where the conversion is a direct operand.
+func comparedDirectly(info *types.Info, conv *ast.CallExpr) bool {
+	found := false
+	for expr := range info.Types {
+		bin, ok := expr.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			continue
+		}
+		if ast.Unparen(bin.X) == conv || ast.Unparen(bin.Y) == conv {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// checkAllocAssign enforces the append-reuse rule at assignments.
+func checkAllocAssign(pass *Pass, info *types.Info, assign *ast.AssignStmt) {
+	for i, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(info, call) || len(call.Args) == 0 {
+			continue
+		}
+		if i < len(assign.Lhs) && appendReusesDest(assign.Lhs[i], call.Args[0]) {
+			continue
+		}
+		pass.Report(call.Pos(), "append may grow a fresh backing array; reuse the destination (x = append(x, ...) or x = append(x[:0], ...)) backed by pooled state")
+	}
+}
+
+// appendReusesDest recognizes x = append(x, ...) and x = append(x[:0], ...)
+// plus the prefix form where the first argument re-slices the destination
+// (buf = append(buf[:n], ...)).
+func appendReusesDest(lhs, arg0 ast.Expr) bool {
+	dest := exprString(lhs)
+	if exprString(arg0) == dest {
+		return true
+	}
+	if sl, ok := ast.Unparen(arg0).(*ast.SliceExpr); ok {
+		return exprString(sl.X) == dest
+	}
+	return false
+}
+
+// checkBoxing flags non-constant concrete values passed to interface
+// parameters: the conversion heap-allocates unless the value is pointer
+// shaped (stored directly in the interface word).
+func checkBoxing(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				paramType = s.Elem()
+			}
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		}
+		if paramType == nil || !types.IsInterface(paramType) {
+			continue
+		}
+		argType := info.TypeOf(arg)
+		if argType == nil || types.IsInterface(argType) {
+			continue // interface-to-interface: no new box
+		}
+		if isConstExpr(info, arg) || pointerShaped(argType) || isUntypedNil(info, arg) {
+			continue
+		}
+		pass.Report(arg.Pos(), "passing %s (%s) to interface parameter of %s boxes it on the heap; pass a pointer or restructure the call",
+			exprString(arg), argType.String(), fn.Name())
+	}
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// checkEscapingClosure flags function literals that capture enclosing
+// variables and escape the annotated function. A literal bound to a local
+// variable or invoked immediately stays on the stack; one passed as an
+// argument, returned, or stored through a selector/index forces its
+// captures (and the closure itself) to the heap.
+func checkEscapingClosure(pass *Pass, info *types.Info, decl *ast.FuncDecl, lit *ast.FuncLit) {
+	if !capturesVariables(info, decl, lit) {
+		return
+	}
+	switch escapeOf(decl.Body, lit) {
+	case "local", "invoked":
+		return
+	case "returned":
+		pass.Report(lit.Pos(), "returning a capturing closure allocates it on the heap; hoist the state or return a method value on pooled state")
+	default:
+		pass.Report(lit.Pos(), "capturing closure escapes the annotated function and allocates; bind it to a local or restructure to avoid the capture")
+	}
+}
+
+// capturesVariables reports whether lit references objects declared in
+// the enclosing function but outside the literal itself.
+func capturesVariables(info *types.Info, decl *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		obj := info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		// Declared inside the enclosing function but outside the literal.
+		if pos >= decl.Pos() && pos < decl.End() && (pos < lit.Pos() || pos >= lit.End()) {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// escapeOf classifies how lit is used inside body: "local" (assigned to a
+// plain local), "invoked" (called immediately), or "escapes".
+func escapeOf(body *ast.BlockStmt, lit *ast.FuncLit) string {
+	verdict := "escapes"
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if ast.Unparen(x.Fun) == lit {
+				verdict = "invoked"
+				return false
+			}
+			for _, arg := range x.Args {
+				if ast.Unparen(arg) == lit {
+					verdict = "escapes"
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if ast.Unparen(rhs) != lit || i >= len(x.Lhs) {
+					continue
+				}
+				if _, isIdent := ast.Unparen(x.Lhs[i]).(*ast.Ident); isIdent && x.Tok == token.DEFINE {
+					verdict = "local"
+				} else {
+					verdict = "escapes"
+				}
+				return false
+			}
+		case *ast.ValueSpec:
+			for _, v := range x.Values {
+				if ast.Unparen(v) == lit {
+					verdict = "local" // var f = func(){...} inside the body
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if ast.Unparen(r) == lit {
+					verdict = "returned"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return verdict
+}

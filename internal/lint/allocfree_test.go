@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestAllocFreeBad(t *testing.T) {
+	runFixture(t, AllocFree, "allocfree/bad")
+}
+
+func TestAllocFreeGood(t *testing.T) {
+	runFixture(t, AllocFree, "allocfree/good")
+}

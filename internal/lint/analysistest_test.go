@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors x/tools' analysistest on the stdlib-only
+// framework: each fixture directory under testdata/src/<analyzer>/ is one
+// package; lines carrying `// want "regexp"` comments must produce a
+// matching diagnostic, and any diagnostic without a matching want comment
+// is a failure. The "bad" fixture of each analyzer proves it reports,
+// the "good" fixture proves it stays silent on the conforming spelling
+// of the same constructs.
+
+// wantRe matches a want marker anywhere in a comment, but only when the
+// remainder is a run of backquoted patterns — so prose mentioning "want"
+// never parses as an expectation.
+var wantRe = regexp.MustCompile("want ((?:`[^`]*`\\s*)+)$")
+
+// expectation is one want comment: a diagnostic regexp anchored to a line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// runFixture loads testdata/src/<dir>, runs the analyzer alone, and
+// reconciles diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkg, err := LoadDir(".", filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	expects := collectWants(t, pkg)
+	for _, d := range diags {
+		if !matchExpectation(expects, d) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: want comment %q matched no diagnostic", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range splitQuoted(t, pos.String(), m[1]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, q, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted parses the backquoted patterns of a want comment:
+// want `p1` `p2`.
+func splitQuoted(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	for _, part := range strings.Split(strings.TrimSpace(s), "`") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: malformed want comment %q", pos, s)
+	}
+	return out
+}
+
+func matchExpectation(expects []*expectation, d Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.line != d.Pos.Line || e.file != d.Pos.Filename {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// TestFixtureHarness guards the harness itself: a fabricated diagnostic
+// reconciles against a fabricated expectation.
+func TestFixtureHarness(t *testing.T) {
+	e := &expectation{file: "x.go", line: 3, pattern: regexp.MustCompile(`boom`)}
+	d := Diagnostic{Analyzer: "a", Message: "boom on line"}
+	d.Pos.Filename, d.Pos.Line = "x.go", 3
+	if !matchExpectation([]*expectation{e}, d) {
+		t.Fatal("expectation did not match diagnostic")
+	}
+	if matchExpectation([]*expectation{e}, d) {
+		t.Fatal("expectation matched twice")
+	}
+}

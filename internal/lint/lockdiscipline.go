@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockDiscipline enforces the coordinator's mutex discipline statically:
+// a struct field whose comment says "guarded by mu" (where mu is a
+// sync.Mutex or sync.RWMutex field of the same struct) may only be
+// accessed in a function that either calls <recv>.mu.Lock()/RLock()
+// itself or carries a //speclint:holds mu annotation — the repo's
+// "Callers hold mu." convention made machine-checkable. Construction-time
+// access (before the value is published to another goroutine) uses the
+// same annotation; composite-literal initialization is always allowed.
+//
+// The check is flow-insensitive: acquiring the lock anywhere in the
+// function legitimizes every access in it, including nested function
+// literals (closures run under the caller's critical section in this
+// codebase). -race remains the dynamic backstop; this analyzer catches
+// the unlocked access that a race run never schedules.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "fields commented 'guarded by mu' must be accessed with the mutex held or under //speclint:holds",
+	Run:  runLockDiscipline,
+}
+
+// guardInfo records one guarded field: the guarding mutex's field name.
+type guardInfo struct {
+	mu string
+}
+
+func runLockDiscipline(pass *Pass) error {
+	info := pass.Pkg.Info
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range fileFuncs(f) {
+			holds := map[string]bool{}
+			for _, mu := range annotationsOf(decl).holds {
+				holds[mu] = true
+			}
+			locks := lockCallsIn(info, decl.Body)
+			checkGuardedAccesses(pass, info, decl, guarded, holds, locks)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields finds "guarded by mu" field comments in the
+// package's struct types, validating that the named guard is a mutex
+// field of the same struct.
+func collectGuardedFields(pass *Pass) map[*types.Var]guardInfo {
+	info := pass.Pkg.Info
+	guarded := map[*types.Var]guardInfo{}
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardedFieldComment(field)
+				if mu == "" {
+					continue
+				}
+				if !structHasMutexField(info, st, mu) {
+					pass.Report(field.Pos(), "guarded-by comment names %q, which is not a sync.Mutex/RWMutex field of this struct", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						guarded[v] = guardInfo{mu: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func structHasMutexField(info *types.Info, st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name != name {
+				continue
+			}
+			return isMutexType(info.TypeOf(field.Type))
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockCallsIn returns the rendered receivers of every .Lock()/.RLock()
+// call in body: a call c.mu.Lock() contributes "c.mu".
+func lockCallsIn(info *types.Info, body *ast.BlockStmt) map[string]bool {
+	locks := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if !isMutexType(info.TypeOf(sel.X)) {
+			return true
+		}
+		locks[exprString(sel.X)] = true
+		return true
+	})
+	return locks
+}
+
+// checkGuardedAccesses flags selector accesses to guarded fields in decl
+// when the guarding mutex is neither locked in decl nor annotated held.
+func checkGuardedAccesses(pass *Pass, info *types.Info, decl *ast.FuncDecl, guarded map[*types.Var]guardInfo, holds map[string]bool, locks map[string]bool) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		g, isGuarded := guarded[obj]
+		if !isGuarded {
+			return true
+		}
+		if holds[g.mu] {
+			return true
+		}
+		root := exprString(sel.X)
+		if locks[root+"."+g.mu] {
+			return true
+		}
+		pass.Report(sel.Sel.Pos(), "%s accesses %s.%s without holding %s.%s; lock it here or annotate the function //speclint:holds %s if callers hold it",
+			decl.Name.Name, root, sel.Sel.Name, root, g.mu, g.mu)
+		return true
+	})
+}

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestLockDisciplineBad(t *testing.T) {
+	runFixture(t, LockDiscipline, "lockdiscipline/bad")
+}
+
+func TestLockDisciplineGood(t *testing.T) {
+	runFixture(t, LockDiscipline, "lockdiscipline/good")
+}

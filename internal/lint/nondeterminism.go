@@ -1,0 +1,390 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Nondeterminism enforces the shard-determinism contract: records carry
+// canonical SHA-256 signatures and the remote backend dedups replayed
+// results by byte equality, so everything reachable from a registered
+// experiment Spec's Run/Aggregate/Prepare/Plan functions must be a pure
+// function of the params and shard index. The analyzer flags, in that
+// reachable set, wall-clock reads (time.Now/Since), the global math/rand
+// generators, environment reads, and %p pointer formatting. Module-wide
+// (reachable or not, because rendering and scheduling determinism are
+// contracts of their own), it flags ranging over a map when the loop body
+// feeds an order-sensitive sink — an append whose destination is never
+// sorted afterwards, string accumulation, an io.Writer-shaped Write, or a
+// print — since map iteration order varies run to run.
+var Nondeterminism = &Analyzer{
+	Name:   "nondeterminism",
+	Doc:    "flag nondeterministic inputs in shard-reachable code and order-sensitive map iteration",
+	Module: true,
+	Run:    runNondeterminism,
+}
+
+// specRootFields are the Spec fields whose function values execute inside
+// shards or the aggregation path.
+var specRootFields = map[string]bool{"Plan": true, "Run": true, "NewShard": true, "Prepare": true, "Aggregate": true}
+
+// bannedCalls maps pkgpath.Func of forbidden calls to the reason reported.
+var bannedCalls = map[string]string{
+	"time.Now":     "reads the wall clock",
+	"time.Since":   "reads the wall clock",
+	"os.Getenv":    "reads the environment",
+	"os.LookupEnv": "reads the environment",
+	"os.Environ":   "reads the environment",
+}
+
+// bannedRandPkgs are packages whose top-level functions draw from a
+// process-global, nondeterministically-seeded generator.
+var bannedRandPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+func runNondeterminism(pass *Pass) error {
+	idx := indexFuncs(pass.All)
+	reachable := map[string]bool{}
+	var worklist []funcBody
+
+	// Roots: function values in Spec composite literals.
+	for _, pkg := range pass.All {
+		for _, f := range pkg.Syntax {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok || !isSpecLiteral(pkg.Info, lit) {
+					return true
+				}
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || !specRootFields[key.Name] {
+						continue
+					}
+					worklist = append(worklist, funcBody{pkg: pkg, node: kv.Value})
+				}
+				return true
+			})
+		}
+	}
+
+	// Close over references to module functions. Interface-method
+	// references fall back to every module method of the same name.
+	for len(worklist) > 0 {
+		fb := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		ast.Inspect(fb.node, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := fb.pkg.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			for _, path := range resolveTargets(idx, fn) {
+				if !reachable[path] {
+					reachable[path] = true
+					worklist = append(worklist, idx.bodies[path])
+				}
+			}
+			return true
+		})
+		checkBannedCalls(pass, fb)
+	}
+
+	// Re-scan reachable bodies happens inline above (each body is checked
+	// exactly once when popped). The map-order rule is module-wide:
+	for _, pkg := range pass.All {
+		checkMapRangeOrder(pass, pkg)
+	}
+	return nil
+}
+
+type funcBody struct {
+	pkg  *Package
+	node ast.Node
+}
+
+// funcIndex maps funcPath keys to declaration bodies, plus a name index
+// for interface-call fan-out.
+type funcIndex struct {
+	bodies map[string]funcBody
+	byName map[string][]string
+	module map[string]bool // loaded package paths
+}
+
+func indexFuncs(pkgs []*Package) *funcIndex {
+	idx := &funcIndex{bodies: map[string]funcBody{}, byName: map[string][]string{}, module: map[string]bool{}}
+	for _, pkg := range pkgs {
+		idx.module[pkg.PkgPath] = true
+		for _, f := range pkg.Syntax {
+			for _, decl := range fileFuncs(f) {
+				fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				path := funcPath(fn)
+				idx.bodies[path] = funcBody{pkg: pkg, node: decl.Body}
+				idx.byName[fn.Name()] = append(idx.byName[fn.Name()], path)
+			}
+		}
+	}
+	return idx
+}
+
+// resolveTargets maps a referenced function to the declaration bodies it
+// may execute: itself when concrete and indexed, or every same-named
+// module method when it is an interface method (dynamic dispatch).
+func resolveTargets(idx *funcIndex, fn *types.Func) []string {
+	if fn.Pkg() == nil || !idx.module[fn.Pkg().Path()] {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return idx.byName[fn.Name()]
+		}
+	}
+	if _, ok := idx.bodies[funcPath(fn)]; ok {
+		return []string{funcPath(fn)}
+	}
+	return nil
+}
+
+func isSpecLiteral(info *types.Info, lit *ast.CompositeLit) bool {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Spec"
+}
+
+// checkBannedCalls scans one reachable body for forbidden call targets.
+func checkBannedCalls(pass *Pass, fb funcBody) {
+	info := fb.pkg.Info
+	ast.Inspect(fb.node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := funcPath(fn)
+		if reason, ok := bannedCalls[path]; ok {
+			pass.Report(call.Pos(), "call to %s %s; shard-reachable code must be a pure function of params and shard index", path, reason)
+			return true
+		}
+		// Package-level math/rand calls draw from the process-global
+		// generator; the New*/constructor functions build the seeded
+		// private generators the contract asks for and are fine (as are
+		// methods on a *rand.Rand, which have a receiver).
+		sig, _ := fn.Type().(*types.Signature)
+		if bannedRandPkgs[fn.Pkg().Path()] && (sig == nil || sig.Recv() == nil) && !strings.HasPrefix(fn.Name(), "New") {
+			pass.Report(call.Pos(), "call to %s.%s uses the global, nondeterministically-seeded generator; use a rand.New(...) seeded from params", fn.Pkg().Path(), fn.Name())
+			return true
+		}
+		if fn.Pkg().Path() == "fmt" && formatHasPointerVerb(info, call) {
+			pass.Report(call.Pos(), "fmt %%p formats a pointer value, which varies per process; signatures must not depend on addresses")
+		}
+		return true
+	})
+}
+
+// formatHasPointerVerb reports whether a fmt call's constant format string
+// contains %p.
+func formatHasPointerVerb(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		tv, ok := info.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			continue
+		}
+		if strings.Contains(constant.StringVal(tv.Value), "%p") {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- map-range order rule ------------------------------------------------
+
+// checkMapRangeOrder flags `for ... := range m` over a map when the body
+// contains an order-sensitive sink and no post-loop sort neutralizes it.
+func checkMapRangeOrder(pass *Pass, pkg *Package) {
+	for _, f := range pkg.Syntax {
+		for _, decl := range fileFuncs(f) {
+			checkMapRangesIn(pass, pkg, decl.Body)
+		}
+	}
+}
+
+func checkMapRangesIn(pass *Pass, pkg *Package, fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		// Recurse into nested function literals with their own body as
+		// the sort-suppression scope.
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkMapRangesIn(pass, pkg, lit.Body)
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pkg.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sink := mapOrderSink(pass, pkg, rng, fnBody); sink != "" {
+			pass.Report(rng.For, "iteration over map %s feeds %s; map order is nondeterministic — collect and sort, or sort the result after the loop",
+				exprString(rng.X), sink)
+		}
+		return true
+	})
+}
+
+// mapOrderSink returns a description of the first order-sensitive sink in
+// a map-range body, or "" when the body is order-insensitive (or every
+// append destination is sorted after the loop).
+func mapOrderSink(pass *Pass, pkg *Package, rng *ast.RangeStmt, fnBody *ast.BlockStmt) string {
+	info := pkg.Info
+	sink := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			// Accumulating strings: s += ... or s = s + ...
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isString(info.TypeOf(x.Lhs[0])) {
+				sink = "a string accumulation"
+				return false
+			}
+			// append into a slice that is not sorted after the loop.
+			for i, rhs := range x.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) || i >= len(x.Lhs) {
+					continue
+				}
+				dest := exprString(x.Lhs[i])
+				if !sortedAfter(info, fnBody, rng, dest) {
+					sink = "an append into " + dest + " that is never sorted"
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if desc := orderSensitiveCall(info, x); desc != "" {
+				sink = desc
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// orderSensitiveCall describes calls that emit in iteration order: fmt
+// output (not Sprint — its result may be stored per key), and Write-shaped
+// methods (io.Writer / hash.Hash / strings.Builder all match by signature).
+func orderSensitiveCall(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return "output via fmt." + fn.Name()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	if isWriterShaped(fn.Name(), sig) {
+		return "a " + fn.Name() + " call on a stream/hash"
+	}
+	return ""
+}
+
+// isWriterShaped matches the io.Writer-family method shapes:
+// Write([]byte) (int, error), WriteString(string) (int, error),
+// WriteByte(byte) error, WriteRune(rune) (int, error).
+func isWriterShaped(name string, sig *types.Signature) bool {
+	params, results := sig.Params(), sig.Results()
+	switch name {
+	case "Write":
+		return params.Len() == 1 && isByteSlice(params.At(0).Type()) && results.Len() == 2
+	case "WriteString":
+		return params.Len() == 1 && isString(params.At(0).Type()) && results.Len() == 2
+	case "WriteByte":
+		return params.Len() == 1 && results.Len() == 1
+	case "WriteRune":
+		return params.Len() == 1 && results.Len() == 2
+	}
+	return false
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// sortedAfter reports whether dest is passed to a sort/slices sorting
+// function after the range loop within the enclosing function body.
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt, dest string) bool {
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if pkgPath := fn.Pkg().Path(); pkgPath != "sort" && pkgPath != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprString(arg) == dest {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

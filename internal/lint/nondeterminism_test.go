@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestNondeterminismBad(t *testing.T) {
+	runFixture(t, Nondeterminism, "nondeterminism/bad")
+}
+
+func TestNondeterminismGood(t *testing.T) {
+	runFixture(t, Nondeterminism, "nondeterminism/good")
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PolicyPurity enforces the SpecPolicy purity contract: the issue stage
+// memoizes each reservation-station entry's CanIssue verdict per cycle
+// (PR 8), which is sound only if CanIssue is a pure function of its
+// arguments; DecideLoad is consulted once per load under the same
+// contract. The analyzer finds every method named CanIssue or DecideLoad
+// whose receiver type also has the rest of the SpecPolicy shape (a
+// Shadow method) and flags writes through the receiver: field
+// assignments, IncDec, and writes into receiver-reachable maps or slice
+// elements. The one allowed exception is a field path containing
+// IssueGateStalls — the replay counter CanIssue increments by design,
+// which the memoization layer compensates for explicitly.
+//
+// Indirect mutation (calling a method that writes) is out of scope here;
+// the fixture tests pin the direct-write contract and the simulator's
+// equivalence gates catch the rest dynamically.
+var PolicyPurity = &Analyzer{
+	Name: "policypurity",
+	Doc:  "SpecPolicy.CanIssue/DecideLoad must not write receiver state (IssueGateStalls excepted)",
+	Run:  runPolicyPurity,
+}
+
+// pureMethods are the SpecPolicy methods bound by the purity contract.
+var pureMethods = map[string]bool{"CanIssue": true, "DecideLoad": true}
+
+// purityException names the receiver field CanIssue may mutate.
+const purityException = "IssueGateStalls"
+
+func runPolicyPurity(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range fileFuncs(f) {
+			if decl.Recv == nil || !pureMethods[decl.Name.Name] {
+				continue
+			}
+			recv := receiverIdent(decl)
+			if recv == nil || !isSpecPolicyImpl(info, decl) {
+				continue
+			}
+			recvObj := info.Defs[recv]
+			if recvObj == nil {
+				continue
+			}
+			checkPureMethod(pass, info, decl, recvObj)
+		}
+	}
+	return nil
+}
+
+// receiverIdent returns the receiver's name ident (nil for `_` or
+// anonymous receivers, which cannot be written through anyway).
+func receiverIdent(decl *ast.FuncDecl) *ast.Ident {
+	if len(decl.Recv.List) != 1 || len(decl.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	id := decl.Recv.List[0].Names[0]
+	if id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// isSpecPolicyImpl reports whether the method's receiver type looks like a
+// SpecPolicy implementation: it must also declare a Shadow method, which
+// distinguishes policies from unrelated types that happen to have a
+// CanIssue or DecideLoad. (Matching by interface identity would tie the
+// analyzer to one package; the shape test keeps it usable on fixtures.)
+func isSpecPolicyImpl(info *types.Info, decl *ast.FuncDecl) bool {
+	recvType := info.TypeOf(decl.Recv.List[0].Type)
+	if recvType == nil {
+		return false
+	}
+	if p, ok := recvType.(*types.Pointer); ok {
+		recvType = p.Elem()
+	}
+	named, ok := recvType.(*types.Named)
+	if !ok {
+		return false
+	}
+	m, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), "Shadow")
+	return m != nil
+}
+
+// checkPureMethod flags writes through recvObj in the method body.
+func checkPureMethod(pass *Pass, info *types.Info, decl *ast.FuncDecl, recvObj types.Object) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if target, ok := receiverWrite(info, lhs, recvObj); ok {
+					pass.Report(lhs.Pos(), "%s writes %s; %s must be pure — the issue stage memoizes its verdict per cycle (see internal/uarch SpecPolicy)",
+						decl.Name.Name, target, decl.Name.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if target, ok := receiverWrite(info, x.X, recvObj); ok {
+				pass.Report(x.Pos(), "%s mutates %s; %s must be pure — the issue stage memoizes its verdict per cycle (see internal/uarch SpecPolicy)",
+					decl.Name.Name, target, decl.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// receiverWrite reports whether lhs writes state reachable from the
+// receiver object (field, map entry, or slice element), excluding the
+// IssueGateStalls exception.
+func receiverWrite(info *types.Info, lhs ast.Expr, recvObj types.Object) (string, bool) {
+	root := receiverRoot(lhs)
+	id, ok := root.(*ast.Ident)
+	if !ok || info.Uses[id] != recvObj {
+		return "", false
+	}
+	// A bare `recv = ...` rebinding mutates nothing shared.
+	if ast.Unparen(lhs) == root {
+		return "", false
+	}
+	target := exprString(lhs)
+	if strings.Contains(target, purityException) {
+		return "", false
+	}
+	return target, true
+}

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestPolicyPurityBad(t *testing.T) {
+	runFixture(t, PolicyPurity, "policypurity/bad")
+}
+
+func TestPolicyPurityGood(t *testing.T) {
+	runFixture(t, PolicyPurity, "policypurity/good")
+}

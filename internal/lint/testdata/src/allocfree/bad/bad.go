@@ -1,0 +1,67 @@
+// Package bad violates the //speclint:allocfree contract in every way
+// the analyzer models: construction, growth, conversion, boxing, escape
+// and formatting on the annotated hot path.
+package bad
+
+import "fmt"
+
+type sink interface{ accept(any) }
+
+var global sink
+
+type state struct {
+	buf  []byte
+	vals []int64
+}
+
+//speclint:allocfree
+func hotMake(s *state, n int) {
+	tmp := make([]int64, n) // want `make allocates on the hot path`
+	p := new(state)         // want `new allocates on the hot path`
+	_ = tmp
+	_ = p
+}
+
+//speclint:allocfree
+func hotAppend(s *state, out []int64, v int64) []int64 {
+	out = append(s.vals, v) // want `append may grow a fresh backing array`
+	return out
+}
+
+//speclint:allocfree
+func hotString(s *state, name string, id int) string {
+	label := name + "-suffix" // want `string concatenation allocates`
+	raw := []byte(name)       // want `\[\]byte conversion allocates`
+	text := string(s.buf)     // want `string conversion allocates`
+	_ = raw
+	_ = text
+	return label
+}
+
+//speclint:allocfree
+func hotFmt(id int) {
+	msg := fmt.Sprintf("trial %d", id) // want `fmt.Sprintf on the hot path allocates`
+	_ = msg
+}
+
+//speclint:allocfree
+func hotBox(s *state, v int64) {
+	global.accept(v) // want `passing v \(int64\) to interface parameter of accept boxes it`
+}
+
+//speclint:allocfree
+func hotClosure(s *state, vs []int64) func() int64 {
+	total := int64(0)
+	return func() int64 { // want `returning a capturing closure allocates it on the heap`
+		for _, v := range vs {
+			total += v
+		}
+		return total
+	}
+}
+
+//speclint:allocfree
+func hotEscape(s *state, run func(func())) {
+	n := 0
+	run(func() { n++ }) // want `capturing closure escapes the annotated function`
+}

@@ -1,0 +1,72 @@
+// Package good spells every hot-path construct from the bad fixture in
+// its alloc-free form: pooled state, self-appends, comparison-only
+// conversions, pointer-shaped interface values, local closures, and fmt
+// confined to the cold error path.
+package good
+
+import "fmt"
+
+type sink interface{ accept(any) }
+
+var global sink
+
+type state struct {
+	buf   []byte
+	vals  []int64
+	memo  string
+	extra *state
+}
+
+// unannotated allocates freely: the contract is opt-in.
+func unannotated(n int) []int64 { return make([]int64, n) }
+
+//speclint:allocfree
+func hotSelfAppend(s *state, v int64) {
+	s.vals = append(s.vals, v)         // reuse: destination is the first argument
+	s.buf = append(s.buf[:0], byte(v)) // reuse: prefix re-slice of the destination
+	buf := s.buf[:0]
+	buf = append(buf, byte(v))
+	s.buf = buf
+}
+
+//speclint:allocfree
+func hotCompare(s *state, key string) bool {
+	// string(b) as a comparison operand compiles without allocating.
+	return key == string(s.buf)
+}
+
+//speclint:allocfree
+func hotColdFmt(s *state, id int) error {
+	if s.extra == nil {
+		return fmt.Errorf("trial %d: no extra state", id) // cold path: returns are exempt
+	}
+	if len(s.buf) > 1<<20 {
+		panic(fmt.Sprintf("buffer blew up at trial %d", id)) // cold path: panics are exempt
+	}
+	return nil
+}
+
+//speclint:allocfree
+func hotPointer(s *state) {
+	global.accept(s.extra) // pointer-shaped: stored in the interface word
+	global.accept(nil)
+	global.accept("label") // constants box without a heap allocation
+}
+
+//speclint:allocfree
+func hotLocalClosure(s *state, vs []int64) int64 {
+	total := int64(0)
+	add := func(v int64) { total += v } // local binding: the closure stays on the stack
+	for _, v := range vs {
+		add(v)
+	}
+	func() { total *= 2 }() // immediately invoked: never escapes
+	return total
+}
+
+//speclint:allocfree
+func hotIgnored(s *state) string {
+	//speclint:ignore allocfree memo-style slow path, pinned by AllocsPerRun
+	s.memo = string(s.buf)
+	return s.memo
+}

@@ -1,0 +1,34 @@
+// Package bad violates the guarded-field contract: annotated fields are
+// read and written without the guarding mutex, and one annotation names
+// a guard that does not exist.
+package bad
+
+import "sync"
+
+type counter struct {
+	mu    sync.Mutex
+	hits  int      // guarded by mu
+	names []string // guarded by mu
+}
+
+type mislabeled struct {
+	total int // guarded by lock; want `guarded-by comment names "lock", which is not a sync.Mutex/RWMutex field`
+}
+
+// bump writes a guarded field without taking the lock and without a
+// holds annotation.
+func bump(c *counter) {
+	c.hits++ // want `bump accesses c.hits without holding c.mu`
+}
+
+// snapshot reads guarded state unlocked; reads need the mutex too.
+func snapshot(c *counter) int {
+	return c.hits // want `snapshot accesses c.hits without holding c.mu`
+}
+
+// lockTheWrongOne takes a different instance's mutex.
+func lockTheWrongOne(a, b *counter) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.names = append(a.names, "x") // want `lockTheWrongOne accesses a.names without holding a.mu`
+}

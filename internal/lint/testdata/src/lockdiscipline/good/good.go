@@ -1,0 +1,50 @@
+// Package good exercises every legal way to touch a guarded field: under
+// the mutex, under a //speclint:holds annotation (the "Callers hold mu."
+// convention), inside a closure of a locking function, and at
+// construction time via composite literal.
+package good
+
+import "sync"
+
+type counter struct {
+	mu    sync.Mutex
+	hits  int      // guarded by mu
+	names []string // guarded by mu
+}
+
+// bump locks the guarding mutex itself.
+func bump(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+}
+
+// bumpLocked relies on its callers' critical section, stated
+// machine-checkably.
+//
+//speclint:holds mu
+func bumpLocked(c *counter) {
+	c.hits++
+	c.names = append(c.names, "x")
+}
+
+// bumpAll's closure runs inside the function's own critical section; the
+// analyzer scopes lock acquisition to the whole enclosing declaration.
+func bumpAll(cs []*counter) {
+	for _, c := range cs {
+		c.mu.Lock()
+		func() { c.hits++ }()
+		c.mu.Unlock()
+	}
+}
+
+// newCounter initializes guarded fields by composite literal and returns
+// before the value can be shared.
+func newCounter() *counter {
+	return &counter{hits: 0, names: []string{"seed"}}
+}
+
+// unrelated fields of the same struct stay unguarded.
+func mutexOnly(c *counter) *sync.Mutex {
+	return &c.mu
+}

@@ -1,0 +1,88 @@
+// Package bad violates the shard-determinism contract: code reachable
+// from a registered Spec's Run/Aggregate reads the wall clock, the global
+// RNG and the environment, formats pointers, and renders map state in
+// iteration order.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Spec mimics the experiment registry's shape; the analyzer roots its
+// reachability walk at Run/Aggregate/Prepare/Plan function values of any
+// type named Spec.
+type Spec struct {
+	Name      string
+	Run       func(i int) (any, error)
+	Aggregate func(vals []any) (any, error)
+}
+
+var registry []*Spec
+
+func register(s *Spec) { registry = append(registry, s) }
+
+func init() {
+	register(&Spec{
+		Name: "bad",
+		Run: func(i int) (any, error) {
+			start := time.Now() // want `call to time.Now reads the wall clock`
+			v := shardValue(i)
+			_ = time.Since(start) // want `call to time.Since reads the wall clock`
+			return v, nil
+		},
+		Aggregate: func(vals []any) (any, error) {
+			return aggregate(vals), nil
+		},
+	})
+}
+
+// shardValue is reachable from the Run root, so its global-RNG draw and
+// environment read are flagged even though it never appears in a Spec
+// literal itself.
+func shardValue(i int) float64 {
+	if os.Getenv("SHARD_BIAS") != "" { // want `call to os.Getenv reads the environment`
+		return 0
+	}
+	return float64(i) + rand.Float64() // want `uses the global, nondeterministically-seeded generator`
+}
+
+// aggregate is reachable from the Aggregate root; formatting a pointer
+// bakes a per-process address into the output.
+func aggregate(vals []any) string {
+	return fmt.Sprintf("agg at %p over %d", &vals, len(vals)) // want `formats a pointer value`
+}
+
+// renderCounts is not shard-reachable, but the map-order rule is
+// module-wide: the append destination is never sorted, so the rendered
+// order varies run to run.
+func renderCounts(counts map[string]int) []string {
+	var lines []string
+	for k, v := range counts { // want `iteration over map counts feeds an append into lines that is never sorted`
+		lines = append(lines, fmt.Sprintf("%s=%d", k, v))
+	}
+	return lines
+}
+
+// printCounts streams map entries straight to an output in iteration
+// order.
+func printCounts(counts map[string]int) {
+	for k, v := range counts { // want `iteration over map counts feeds output via fmt.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// concatCounts accumulates a string in iteration order.
+func concatCounts(counts map[string]int) string {
+	s := ""
+	for k := range counts { // want `iteration over map counts feeds a string accumulation`
+		s += k
+	}
+	return s
+}
+
+var _ = renderCounts
+var _ = printCounts
+var _ = concatCounts

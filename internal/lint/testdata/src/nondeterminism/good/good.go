@@ -1,0 +1,75 @@
+// Package good is the conforming twin of the nondeterminism bad fixture:
+// the same shapes, spelled deterministically — seeded generators, params
+// in place of clock and environment, and sorted map renderings.
+package good
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+type Spec struct {
+	Name      string
+	Run       func(i int) (any, error)
+	Aggregate func(vals []any) (any, error)
+}
+
+var registry []*Spec
+
+func register(s *Spec) { registry = append(registry, s) }
+
+func init() {
+	register(&Spec{
+		Name: "good",
+		Run: func(i int) (any, error) {
+			return shardValue(uint64(i)), nil
+		},
+		Aggregate: func(vals []any) (any, error) {
+			return fmt.Sprintf("agg over %d", len(vals)), nil
+		},
+	})
+}
+
+// shardValue draws from a generator seeded by the shard index: the same
+// shard always produces the same value.
+func shardValue(seed uint64) float64 {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	return rng.Float64()
+}
+
+// renderCounts sorts the rendered lines after the loop, so map order
+// never reaches the output.
+func renderCounts(counts map[string]int) []string {
+	var lines []string
+	for k, v := range counts {
+		lines = append(lines, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// sumCounts folds map values commutatively; no order reaches any output.
+func sumCounts(counts map[string]int) int {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}
+
+// minKey selects deterministically over the iteration (smallest key wins
+// regardless of visit order).
+func minKey(counts map[string]int) string {
+	best := ""
+	for k := range counts {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+var _ = renderCounts
+var _ = sumCounts
+var _ = minKey

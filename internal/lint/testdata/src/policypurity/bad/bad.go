@@ -1,0 +1,33 @@
+// Package bad violates the SpecPolicy purity contract: CanIssue and
+// DecideLoad mutate receiver state, which would desynchronize the issue
+// stage's per-cycle readiness memoization.
+package bad
+
+// LoadCtx and LoadAction mimic the uarch package's shapes.
+type LoadCtx struct{ L1Hit bool }
+
+type LoadAction int
+
+// CountingPolicy is recognized as a SpecPolicy implementation by shape:
+// it declares Shadow alongside CanIssue/DecideLoad.
+type CountingPolicy struct {
+	issues  int
+	seen    map[bool]int
+	history []bool
+	denied  bool
+}
+
+func (p *CountingPolicy) Shadow() int { return 0 }
+
+func (p *CountingPolicy) CanIssue(safe bool) bool {
+	p.issues++                          // want `CanIssue mutates p.issues`
+	p.seen[safe]++                      // want `CanIssue mutates p.seen\[safe\]`
+	p.denied = !safe                    // want `CanIssue writes p.denied`
+	p.history = append(p.history, safe) // want `CanIssue writes p.history`
+	return safe
+}
+
+func (p *CountingPolicy) DecideLoad(ctx LoadCtx) LoadAction {
+	p.history[0] = ctx.L1Hit // want `DecideLoad writes p.history\[0\]`
+	return 0
+}

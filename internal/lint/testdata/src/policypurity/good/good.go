@@ -1,0 +1,47 @@
+// Package good holds conforming SpecPolicy implementations: pure
+// verdicts, the named IssueGateStalls exception, and writes that are
+// legal because they do not go through the receiver.
+package good
+
+type LoadCtx struct{ L1Hit bool }
+
+type LoadAction int
+
+// Stats mirrors the uarch CoreStats replay-counter shape.
+type Stats struct{ IssueGateStalls int64 }
+
+// GatePolicy is a SpecPolicy by shape (Shadow + CanIssue/DecideLoad).
+type GatePolicy struct {
+	strict bool
+	stats  Stats
+}
+
+func (p *GatePolicy) Shadow() int { return 0 }
+
+// CanIssue is pure except for the one allowed exception: the
+// IssueGateStalls replay counter, which the memoization layer
+// compensates for by name.
+func (p *GatePolicy) CanIssue(safe bool) bool {
+	if !safe {
+		p.stats.IssueGateStalls++
+	}
+	return safe || !p.strict
+}
+
+// DecideLoad reads receiver state and writes only locals.
+func (p *GatePolicy) DecideLoad(ctx LoadCtx) LoadAction {
+	decision := LoadAction(0)
+	if p.strict && !ctx.L1Hit {
+		decision = 1
+	}
+	return decision
+}
+
+// NotAPolicy has a CanIssue but no Shadow, so the purity contract does
+// not apply: the analyzer must leave unrelated types alone.
+type NotAPolicy struct{ calls int }
+
+func (n *NotAPolicy) CanIssue(safe bool) bool {
+	n.calls++
+	return safe
+}

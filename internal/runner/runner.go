@@ -10,6 +10,12 @@
 // serial loops), every shard builds its own System/Memory, and Map returns
 // results in index order. Under that contract the output is bit-identical
 // at any worker count, so "-parallel 8" is purely a wall-clock knob.
+//
+// The nondeterminism analyzer (internal/lint, run as cmd/speclint in CI)
+// enforces the contract statically: code reachable from a registered
+// experiment spec must not read the wall clock, the global math/rand
+// source, or the environment, and map-iteration order must not feed any
+// output the signatures hash.
 package runner
 
 import (

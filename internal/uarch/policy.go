@@ -171,6 +171,12 @@ type LoadCtx struct {
 // that do keep state (e.g. MuonTrap's filter cache) mutate it only through
 // the explicit notification hooks (FilterPolicy, UndoPolicy), which the
 // core invokes outside the memoized window.
+//
+// The policypurity analyzer (internal/lint, run as cmd/speclint in CI)
+// enforces the write half of this contract statically: any assignment to
+// receiver state inside CanIssue or DecideLoad on a SpecPolicy
+// implementation fails the lint gate, with stats accumulation into
+// *IssueGateStalls* fields as the one sanctioned exception.
 type SpecPolicy interface {
 	// Name identifies the scheme in reports.
 	Name() string

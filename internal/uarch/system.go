@@ -273,6 +273,8 @@ func (s *System) NumCores() int { return len(s.cores) }
 func (s *System) Cycle() int64 { return s.cycle }
 
 // Step advances the whole system by one cycle.
+//
+//speclint:allocfree
 func (s *System) Step() {
 	for _, c := range s.cores {
 		c.tick(s.cycle)
